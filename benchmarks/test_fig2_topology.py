@@ -1,0 +1,35 @@
+"""E-fig2: construct the Figure-2 topology and verify its cliques.
+
+Figure 2 defines the two overlapping contention cliques the paper's
+first experiment relies on: clique 0 = {(0,1),(1,2)} and clique 1 =
+{(1,2),(3,4),(4,5)}.  The bench times the full derivation chain
+(links from geometry, contention graph, Bron–Kerbosch, routing).
+"""
+
+from repro.routing.link_state import link_state_routes
+from repro.scenarios.figures import figure2
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+
+
+def build():
+    scenario = figure2()
+    graph = ContentionGraph(scenario.topology)
+    cliques = maximal_cliques(graph)
+    routes = link_state_routes(scenario.topology)
+    return scenario, cliques, routes
+
+
+def test_fig2_topology(benchmark):
+    scenario, cliques, routes = benchmark(build)
+
+    clique_sets = {clique.links for clique in cliques}
+    assert clique_sets == {
+        frozenset({(0, 1), (1, 2)}),
+        frozenset({(1, 2), (3, 4), (4, 5)}),
+    }, "paper-stated clique structure must emerge from the geometry"
+
+    for flow in scenario.flows:
+        assert routes.hop_count(flow.source, flow.destination) == 1
+
+    print("\nFigure 2: cliques", sorted(sorted(c.links) for c in cliques))

@@ -1,0 +1,38 @@
+"""E-fig3: the three-link chain of Figure 3.
+
+Verifies the structural properties Table 3 depends on: all three
+links in one contention clique, hop counts 3/2/1 toward the common
+destination, and the decode/sense asymmetry between nodes 0 and 2
+that drives the plain-802.11 unfairness.
+"""
+
+from repro.routing.link_state import link_state_routes
+from repro.scenarios.figures import figure3
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+
+
+def build():
+    scenario = figure3()
+    cliques = maximal_cliques(ContentionGraph(scenario.topology))
+    routes = link_state_routes(scenario.topology)
+    return scenario, cliques, routes
+
+
+def test_fig3_topology(benchmark):
+    scenario, cliques, routes = benchmark(build)
+
+    assert len(cliques) == 1
+    assert cliques[0].links == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    hops = {
+        flow.flow_id: routes.hop_count(flow.source, flow.destination)
+        for flow in scenario.flows
+    }
+    assert hops == {1: 3, 2: 2, 3: 1}
+
+    topology = scenario.topology
+    assert topology.senses(0, 2) and not topology.decodes(0, 2)
+    assert topology.decodes(1, 2)
+
+    print("\nFigure 3: single clique", sorted(cliques[0].links), "hops", hops)

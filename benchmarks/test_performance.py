@@ -1,0 +1,98 @@
+"""Simulator performance benchmarks (not paper artifacts).
+
+Measured so regressions in the hot paths show up: event-kernel
+dispatch, packet-level DCF throughput, fluid-round throughput, and
+clique enumeration on a dense random network.
+"""
+
+from repro.mac.dcf import DcfMac
+from repro.mac.fluid import FluidMac
+from repro.sim.kernel import Simulator
+from repro.topology.builders import random_topology
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+from repro.topology.network import Topology
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
+from helpers import QueueNode, SaturatedSender  # noqa: E402
+from repro.flows.packet import Packet  # noqa: E402
+
+
+def test_event_kernel_dispatch_rate(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.call_later(1e-6, tick)
+
+        sim.call_later(0.0, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 50_000
+
+
+def test_dcf_simulated_second(benchmark):
+    """One simulated second of a saturated 802.11 link."""
+
+    def run():
+        topology = Topology()
+        topology.add_nodes([(0.0, 0.0), (200.0, 0.0)])
+        sim = Simulator(seed=1)
+        mac = DcfMac(sim, topology)
+        sender = SaturatedSender(0, {1: 1})
+        sink = SaturatedSender(1, {})
+        mac.attach_node(0, sender.services())
+        mac.attach_node(1, sink.services())
+        mac.start()
+        sim.run(until=1.0)
+        return len(sink.received)
+
+    delivered = benchmark(run)
+    assert delivered > 400
+
+
+def test_fluid_simulated_second(benchmark):
+    """One simulated second of a 12-node fluid network."""
+
+    def run():
+        topology = random_topology(12, width=900.0, height=900.0, seed=4)
+        sim = Simulator(seed=1)
+        mac = FluidMac(sim, topology, capacity_pps=500.0)
+        nodes = {}
+        for node_id in topology.node_ids:
+            nodes[node_id] = QueueNode(node_id)
+            mac.attach_node(node_id, nodes[node_id].services())
+        mac.start()
+        neighbors = sorted(topology.neighbors(0))
+        for _ in range(2_000):
+            packet = Packet(
+                flow_id=1,
+                source=0,
+                destination=neighbors[0],
+                size_bytes=1024,
+                created_at=0.0,
+            )
+            nodes[0].push(packet, neighbors[0])
+        sim.run(until=1.0)
+        return sum(len(node.received) for node in nodes.values())
+
+    delivered = benchmark(run)
+    assert delivered > 100
+
+
+def test_clique_enumeration_dense(benchmark):
+    def run():
+        topology = random_topology(20, width=900.0, height=900.0, seed=9)
+        graph = ContentionGraph(topology)
+        return len(maximal_cliques(graph))
+
+    count = benchmark(run)
+    assert count >= 1

@@ -1,0 +1,54 @@
+"""E-tab3: Table 3 — 802.11 vs 2PP vs GMP on the Figure-3 chain.
+
+Paper values:
+
+    flow      802.11     2PP      GMP
+    <0,3>      80.63   131.86   164.75
+    <1,3>     220.07   188.76   176.04
+    <2,3>     174.09   240.85   179.21
+    U         856.11  1013.96  1025.54
+    I_mm       0.366    0.547    0.919
+    I_eq       0.882    0.946    0.999
+
+Expected shape: GMP far fairer than 2PP, which is fairer than plain
+802.11; 802.11 underserves the multihop flows; 2PP's LP hands the
+surplus to the 1-hop flow.
+"""
+
+from repro.scenarios.figures import figure3
+
+from conftest import print_comparison, run_protocols
+
+PAPER = {
+    "802.11": {"f1": 80.63, "f2": 220.07, "f3": 174.09, "U": 856.11, "I_mm": 0.366, "I_eq": 0.882},
+    "2pp": {"f1": 131.86, "f2": 188.76, "f3": 240.85, "U": 1013.96, "I_mm": 0.547, "I_eq": 0.946},
+    "gmp": {"f1": 164.75, "f2": 176.04, "f3": 179.21, "U": 1025.54, "I_mm": 0.919, "I_eq": 0.999},
+}
+
+
+def test_table3_chain(once):
+    scenario = figure3()
+    results = once(lambda: run_protocols(scenario, ("802.11", "2pp", "gmp")))
+    print_comparison("Table 3: Figure-3 chain", scenario, results, PAPER)
+
+    # Fairness ordering: GMP >> 2PP and GMP >> 802.11.
+    assert results["gmp"].i_mm > results["2pp"].i_mm
+    assert results["gmp"].i_mm > results["802.11"].i_mm
+    assert results["gmp"].i_mm > 0.7
+    assert results["gmp"].i_eq > 0.97
+
+    # 2PP favors the short flow (LP bias the paper criticizes).
+    two_pp = results["2pp"].flow_rates
+    assert two_pp[3] > two_pp[1] and two_pp[3] > two_pp[2]
+
+    # Plain 802.11 shows severe unfairness (paper: I_mm = 0.366 with
+    # the 3-hop flow starved).  Which flow starves depends on the
+    # simulator's loss pattern — ours starves the most-congested
+    # relay's local flow on some seeds — but the *unfairness* is
+    # robust; see EXPERIMENTS.md.
+    assert results["802.11"].i_mm < 0.6
+
+    # GMP rates are approximately equal (all flows share one clique
+    # and one destination).
+    gmp = results["gmp"].flow_rates
+    assert max(gmp.values()) < 1.5 * min(gmp.values())

@@ -1,0 +1,78 @@
+"""E-tab4: Table 4 — 802.11 vs 2PP vs GMP on the Figure-4 gadget row.
+
+Paper values:
+
+    flow     802.11     2PP      GMP
+    f1       221.81    43.31   145.46
+    f2       221.81   347.81   145.94
+    f3       107.29    43.33   134.26
+    f4       107.28    86.67   132.38
+    f5       106.36    43.39   135.44
+    f6       106.36    86.70   133.04
+    f7       223.39    43.36   141.69
+    f8       223.39   346.96   149.07
+    U       1976.54  1214.93  1674.13
+    I_mm      0.476    0.125    0.888
+    I_eq      0.890    0.514    0.998
+
+Expected shape: 802.11 gives side gadgets about twice the middle
+gadgets' rates; 2PP starves everything except the side 1-hop flows
+(f2, f8); GMP approximately equalizes all eight flows.
+"""
+
+from repro.scenarios.figures import figure4
+
+from conftest import print_comparison, run_protocols
+
+PAPER = {
+    "802.11": {
+        "f1": 221.81, "f2": 221.81, "f3": 107.29, "f4": 107.28,
+        "f5": 106.36, "f6": 106.36, "f7": 223.39, "f8": 223.39,
+        "U": 1976.54, "I_mm": 0.476, "I_eq": 0.890,
+    },
+    "2pp": {
+        "f1": 43.31, "f2": 347.81, "f3": 43.33, "f4": 86.67,
+        "f5": 43.39, "f6": 86.70, "f7": 43.36, "f8": 346.96,
+        "U": 1214.93, "I_mm": 0.125, "I_eq": 0.514,
+    },
+    "gmp": {
+        "f1": 145.46, "f2": 145.94, "f3": 134.26, "f4": 132.38,
+        "f5": 135.44, "f6": 133.04, "f7": 141.69, "f8": 149.07,
+        "U": 1674.13, "I_mm": 0.888, "I_eq": 0.998,
+    },
+}
+
+SIDE_FLOWS = (1, 2, 7, 8)
+MIDDLE_FLOWS = (3, 4, 5, 6)
+
+
+def test_table4_parallel(once):
+    scenario = figure4()
+    results = once(lambda: run_protocols(scenario, ("802.11", "2pp", "gmp")))
+    print_comparison("Table 4: Figure-4 gadget row", scenario, results, PAPER)
+
+    # GMP is by far the fairest.
+    assert results["gmp"].i_mm > results["802.11"].i_mm
+    assert results["gmp"].i_mm > results["2pp"].i_mm
+    assert results["gmp"].i_mm > 0.6
+    assert results["gmp"].i_eq > 0.95
+
+    # 2PP: the side 1-hop flows grab the surplus; everyone else sits
+    # near the conservative basic share.
+    two_pp = results["2pp"].flow_rates
+    worst = min(two_pp.values())
+    assert two_pp[2] > 2 * worst and two_pp[8] > 2 * worst
+    assert results["2pp"].i_mm < 0.6
+
+    # 802.11: middle gadgets earn less than side gadgets on average.
+    plain = results["802.11"].flow_rates
+    side = sum(plain[f] for f in SIDE_FLOWS) / 4
+    middle = sum(plain[f] for f in MIDDLE_FLOWS) / 4
+    assert side > 1.3 * middle
+
+    # GMP levels middle vs side gadgets (paper: "approximately equal
+    # rates regardless of their locations and lengths").
+    gmp = results["gmp"].flow_rates
+    gmp_side = sum(gmp[f] for f in SIDE_FLOWS) / 4
+    gmp_middle = sum(gmp[f] for f in MIDDLE_FLOWS) / 4
+    assert gmp_side < 1.4 * gmp_middle

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Achieving Global End-to-End Maxmin in
+Multihop Wireless Networks" (ICDCS 2008).
+
+The package implements the paper's GMP protocol and every substrate it
+depends on: a discrete-event kernel, a packet-level IEEE 802.11 DCF
+simulator, buffer-based backpressure, link classification over virtual
+networks, and the 802.11/2PP baselines used in the evaluation.
+
+Quickstart::
+
+    from repro import Flow, run_scenario
+    from repro.scenarios import figure3
+
+    scenario = figure3()
+    result = run_scenario(scenario, protocol="gmp", duration=60.0, seed=1)
+    for flow_id, rate in sorted(result.flow_rates.items()):
+        print(flow_id, rate)
+"""
+
+from repro.errors import ReproError
+from repro.flows import Flow, FlowSet
+from repro.core import GmpConfig, GmpProtocol
+from repro.scenarios import RunResult, run_scenario
+from repro.topology import Topology, chain_topology, grid_topology, random_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Flow",
+    "FlowSet",
+    "GmpConfig",
+    "GmpProtocol",
+    "RunResult",
+    "run_scenario",
+    "Topology",
+    "chain_topology",
+    "grid_topology",
+    "random_topology",
+    "__version__",
+]

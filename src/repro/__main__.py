@@ -1,0 +1,82 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs one of the paper's scenarios under a chosen protocol and prints
+the paper-style result table.
+
+Examples::
+
+    python -m repro figure3 --protocol gmp --substrate fluid
+    python -m repro figure2 --protocol gmp --weights 1,2,1,3 --duration 200
+    python -m repro figure4 --protocol 802.11 --substrate dcf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import GmpConfig
+from repro.errors import ReproError
+from repro.scenarios.figures import figure1, figure2, figure3, figure4
+from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
+
+
+def _build_scenario(args: argparse.Namespace):
+    if args.scenario == "figure1":
+        return figure1()
+    if args.scenario == "figure2":
+        weights = tuple(float(part) for part in args.weights.split(","))
+        return figure2(weights=weights)  # type: ignore[arg-type]
+    if args.scenario == "figure3":
+        return figure3()
+    return figure4()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "scenario", choices=("figure1", "figure2", "figure3", "figure4")
+    )
+    parser.add_argument("--protocol", choices=PROTOCOLS, default="gmp")
+    parser.add_argument("--substrate", choices=SUBSTRATES, default="fluid")
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--period", type=float, default=2.0, help="GMP period (s)")
+    parser.add_argument("--beta", type=float, default=0.10)
+    parser.add_argument(
+        "--traffic", choices=("cbr", "poisson", "onoff"), default="cbr"
+    )
+    parser.add_argument(
+        "--weights",
+        default="1,1,1,1",
+        help="figure2 flow weights, comma-separated (e.g. 1,2,1,3)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        scenario = _build_scenario(args)
+        result = run_scenario(
+            scenario,
+            protocol=args.protocol,
+            substrate=args.substrate,
+            duration=args.duration,
+            seed=args.seed,
+            traffic=args.traffic,
+            gmp_config=GmpConfig(period=args.period, beta=args.beta),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(result.summary_table())
+    if "rate_limits" in result.extras:
+        limits = ", ".join(
+            f"f{flow_id}={limit:.0f}" if limit is not None else f"f{flow_id}=-"
+            for flow_id, limit in sorted(result.extras["rate_limits"].items())
+        )
+        print(f"final rate limits: {limits}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

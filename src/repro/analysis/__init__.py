@@ -1,0 +1,27 @@
+"""Analysis toolkit: fairness indices, the centralized weighted-maxmin
+reference solver, effective throughput, convergence metrics, and text
+tables for the benchmark harness."""
+
+from repro.analysis.fairness import (
+    equality_fairness_index,
+    jain_index,
+    maxmin_fairness_index,
+    normalized_rates,
+)
+from repro.analysis.maxmin_reference import MaxminSolution, weighted_maxmin_rates
+from repro.analysis.throughput import effective_network_throughput
+from repro.analysis.convergence import convergence_time, oscillation_amplitude
+from repro.analysis.report import format_table
+
+__all__ = [
+    "maxmin_fairness_index",
+    "equality_fairness_index",
+    "jain_index",
+    "normalized_rates",
+    "MaxminSolution",
+    "weighted_maxmin_rates",
+    "effective_network_throughput",
+    "convergence_time",
+    "oscillation_amplitude",
+    "format_table",
+]

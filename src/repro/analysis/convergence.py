@@ -1,0 +1,69 @@
+"""Convergence diagnostics for rate-adaptation runs.
+
+GMP converges to an AIMD-style limit cycle around the maxmin point
+(amplitude on the order of β); these helpers quantify how fast a rate
+trajectory enters a tolerance band and how wide the residual
+oscillation is.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def convergence_time(
+    trajectory: Sequence[float],
+    target: float,
+    *,
+    tolerance: float = 0.2,
+    hold: int = 3,
+) -> int | None:
+    """First index from which the trajectory stays within
+    ``tolerance`` (relative) of ``target`` for at least ``hold``
+    consecutive samples; None if it never settles.
+
+    Raises:
+        AnalysisError: on empty trajectories or non-positive targets.
+    """
+    if not trajectory:
+        raise AnalysisError("convergence time of an empty trajectory")
+    if target <= 0:
+        raise AnalysisError(f"target must be positive: {target}")
+    run = 0
+    start: int | None = None
+    for index, value in enumerate(trajectory):
+        if abs(value - target) <= tolerance * target:
+            if run == 0:
+                start = index
+            run += 1
+            if run >= hold and index == len(trajectory) - 1:
+                return start
+        else:
+            run = 0
+            start = None
+    if run >= hold:
+        return start
+    return None
+
+
+def oscillation_amplitude(
+    trajectory: Sequence[float], *, tail_fraction: float = 0.25
+) -> float:
+    """Relative peak-to-peak amplitude over the trajectory's tail.
+
+    Returns ``(max - min) / mean`` of the last ``tail_fraction`` of
+    samples; 0.0 for constant tails.
+
+    Raises:
+        AnalysisError: on empty trajectories.
+    """
+    if not trajectory:
+        raise AnalysisError("oscillation amplitude of an empty trajectory")
+    count = max(1, int(len(trajectory) * tail_fraction))
+    tail = list(trajectory[-count:])
+    mean = sum(tail) / len(tail)
+    if mean == 0:
+        return 0.0
+    return (max(tail) - min(tail)) / mean

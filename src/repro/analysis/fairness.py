@@ -1,0 +1,60 @@
+"""Fairness indices used in the paper's evaluation (§7.2).
+
+* The maxmin fairness index ``I_mm = min(r) / max(r)`` (after
+  Bertsekas & Gallager);
+* the equality fairness index
+  ``I_eq = (sum r)^2 / (|F| * sum r^2)`` (Chiu & Jain) — identical to
+  Jain's fairness index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import AnalysisError
+from repro.flows.flow import FlowSet
+
+
+def _validated(rates: Iterable[float]) -> list[float]:
+    values = list(rates)
+    if not values:
+        raise AnalysisError("fairness index of an empty rate set")
+    if any(value < 0 for value in values):
+        raise AnalysisError(f"negative rate in {values}")
+    return values
+
+
+def maxmin_fairness_index(rates: Iterable[float]) -> float:
+    """``min(r) / max(r)``; defined as 1.0 when all rates are zero."""
+    values = _validated(rates)
+    largest = max(values)
+    if largest == 0:
+        return 1.0
+    return min(values) / largest
+
+
+def equality_fairness_index(rates: Iterable[float]) -> float:
+    """Chiu–Jain equality index; approaches 1 as rates equalize.
+
+    Defined as 1.0 when all rates are zero (perfect equality).
+    """
+    values = _validated(rates)
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+#: Jain's fairness index is the same statistic under its common name.
+jain_index = equality_fairness_index
+
+
+def normalized_rates(
+    rates: Mapping[int, float], flows: FlowSet
+) -> dict[int, float]:
+    """Per-flow normalized rates ``r(f) / w(f)`` (paper eq. 1)."""
+    return {
+        flow_id: flows.get(flow_id).normalized(rate)
+        for flow_id, rate in rates.items()
+    }

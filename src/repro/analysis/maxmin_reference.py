@@ -1,0 +1,163 @@
+"""Centralized weighted-maxmin reference solver.
+
+Computes the global maxmin allocation GMP is supposed to converge to,
+by progressive filling ("water-filling") over the clique-capacity
+model: a flow consumes one unit of a clique's capacity for every one
+of its path links inside that clique, and all normalized rates rise
+together until each flow is stopped by its desirable rate or by a
+saturated clique.
+
+This is the ground truth the tests and benchmarks compare the
+distributed protocol against; the paper itself derives the expected
+outcomes of Tables 1–2 from the same reasoning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.flows.flow import FlowSet
+from repro.routing.table import RouteSet
+from repro.topology.cliques import Clique
+from repro.topology.network import Link
+
+_EPSILON = 1e-9
+
+
+def _canonical(a_link: Link) -> Link:
+    i, j = a_link
+    return (i, j) if i <= j else (j, i)
+
+
+@dataclass(frozen=True)
+class MaxminSolution:
+    """Result of the reference computation.
+
+    Attributes:
+        rates: packets/second per flow.
+        normalized: ``rates / weight`` per flow.
+        bottlenecks: per flow, the clique id that froze it (None when
+            the flow reached its desirable rate).
+        clique_usage: consumed capacity per clique id.
+    """
+
+    rates: dict[int, float]
+    normalized: dict[int, float]
+    bottlenecks: dict[int, tuple[int, int] | None]
+    clique_usage: dict[tuple[int, int], float]
+
+
+def weighted_maxmin_rates(
+    flows: FlowSet,
+    routes: RouteSet,
+    cliques: list[Clique],
+    capacity: float,
+    *,
+    clique_capacities: dict[tuple[int, int], float] | None = None,
+) -> MaxminSolution:
+    """Progressive-filling weighted maxmin under clique constraints.
+
+    Args:
+        flows: the end-to-end flows.
+        routes: routing tables defining each flow's path.
+        cliques: maximal contention cliques.
+        capacity: default packets/second a clique can serialize.
+        clique_capacities: optional per-clique overrides.
+
+    Raises:
+        AnalysisError: on non-positive capacities or empty flow sets.
+    """
+    if len(flows) == 0:
+        raise AnalysisError("maxmin of an empty flow set")
+    capacities = {
+        clique.clique_id: (clique_capacities or {}).get(clique.clique_id, capacity)
+        for clique in cliques
+    }
+    if any(value <= 0 for value in capacities.values()):
+        raise AnalysisError("clique capacities must be positive")
+
+    # Traversal counts: how many units of clique C one packet of flow f
+    # consumes (= number of f's path links inside C).
+    traversals: dict[int, dict[tuple[int, int], int]] = {}
+    for flow in flows:
+        path = [
+            _canonical(a_link)
+            for a_link in routes.path_links(flow.source, flow.destination)
+        ]
+        counts: dict[tuple[int, int], int] = {}
+        for clique in cliques:
+            inside = sum(1 for a_link in path if a_link in clique.links)
+            if inside:
+                counts[clique.clique_id] = inside
+        traversals[flow.flow_id] = counts
+
+    level = {flow.flow_id: 0.0 for flow in flows}  # normalized rates
+    frozen: dict[int, tuple[int, int] | None] = {}
+    remaining = dict(capacities)
+
+    def weight_in(clique_id: tuple[int, int]) -> float:
+        """Combined capacity drain per unit of normalized-rate growth."""
+        return sum(
+            flows.get(flow_id).weight * count.get(clique_id, 0)
+            for flow_id, count in traversals.items()
+            if flow_id not in frozen
+        )
+
+    while len(frozen) < len(flows):
+        # Next event: a flow reaches its desirable rate, or a clique
+        # saturates.
+        step = math.inf
+        for flow in flows:
+            if flow.flow_id in frozen:
+                continue
+            headroom = flow.desired_rate / flow.weight - level[flow.flow_id]
+            step = min(step, headroom)
+        saturating: list[tuple[int, int]] = []
+        for clique_id, slack in remaining.items():
+            drain = weight_in(clique_id)
+            if drain > _EPSILON:
+                step = min(step, slack / drain)
+        if not math.isfinite(step):
+            break
+        step = max(step, 0.0)
+
+        for flow in flows:
+            if flow.flow_id not in frozen:
+                level[flow.flow_id] += step
+        for clique_id in remaining:
+            remaining[clique_id] -= step * weight_in(clique_id)
+            if remaining[clique_id] <= _EPSILON:
+                saturating.append(clique_id)
+
+        newly_frozen = False
+        for flow in flows:
+            if flow.flow_id in frozen:
+                continue
+            if level[flow.flow_id] >= flow.desired_rate / flow.weight - _EPSILON:
+                frozen[flow.flow_id] = None
+                newly_frozen = True
+                continue
+            for clique_id in saturating:
+                if traversals[flow.flow_id].get(clique_id):
+                    frozen[flow.flow_id] = clique_id
+                    newly_frozen = True
+                    break
+        if not newly_frozen:
+            break  # defensive: no progress possible
+
+    rates = {
+        flow.flow_id: level[flow.flow_id] * flow.weight for flow in flows
+    }
+    usage = {
+        clique_id: capacities[clique_id] - remaining[clique_id]
+        for clique_id in capacities
+    }
+    bottlenecks = {flow.flow_id: frozen.get(flow.flow_id) for flow in flows}
+    return MaxminSolution(
+        rates=rates,
+        normalized=dict(level),
+        bottlenecks=bottlenecks,
+        clique_usage=usage,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; this
+module renders them with aligned columns so bench output is directly
+comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; everything else via
+    ``str``.
+
+    Raises:
+        AnalysisError: when a row's width differs from the header's.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Effective network throughput (§7.2).
+
+``U = sum_f r(f) * l_f`` where ``l_f`` is the hop count of flow f's
+routing path — a measure of spatial spectrum reuse.  Packets dropped
+mid-path do not count (rates here are end-to-end delivered rates).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import AnalysisError
+from repro.flows.flow import FlowSet
+from repro.routing.table import RouteSet
+
+
+def effective_network_throughput(
+    rates: Mapping[int, float], flows: FlowSet, routes: RouteSet
+) -> float:
+    """Sum of delivered rate times hop count over all flows."""
+    if not rates:
+        raise AnalysisError("effective throughput of an empty rate set")
+    total = 0.0
+    for flow_id, rate in rates.items():
+        flow = flows.get(flow_id)
+        hops = routes.hop_count(flow.source, flow.destination)
+        total += rate * hops
+    return total

@@ -1,0 +1,28 @@
+"""Plain IEEE 802.11 DCF baseline.
+
+No rate adaptation; per the paper's setup, "all flows passing a node
+share the same buffer space.  When a packet arrives at a node whose
+buffer is full, it will overwrite the packet at the tail of the
+queue."  Everything is already implemented by
+:class:`~repro.buffers.queues.SharedFifoBuffer`; this module only
+fixes the baseline's configuration in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.buffers.queues import SharedFifoBuffer
+
+#: Shared-buffer size from the paper's setup (§7): 300 packets.
+PLAIN_BUFFER_CAPACITY = 300
+
+
+def plain_dcf_buffer(
+    node_id: int,
+    next_hop: Callable[[int], int],
+    *,
+    capacity: int = PLAIN_BUFFER_CAPACITY,
+) -> SharedFifoBuffer:
+    """The buffer policy of a plain-802.11 node."""
+    return SharedFifoBuffer(node_id, next_hop, capacity=capacity)

@@ -1,0 +1,36 @@
+"""Buffer management: queueing policies, fullness measurement, and the
+congestion-avoidance backpressure gate.
+
+The three evaluated protocols differ chiefly in queueing (paper §7.2):
+
+* plain 802.11 — one shared FIFO per node, tail overwrite when full
+  (:class:`SharedFifoBuffer`);
+* 2PP — one 10-packet queue per flow (:class:`PerFlowBuffer`);
+* GMP — one 10-packet queue per served destination with buffer-state
+  backpressure (:class:`PerDestinationBuffer` +
+  :class:`BackpressureGate`).
+"""
+
+from repro.buffers.occupancy import FullnessMeter
+from repro.buffers.backpressure import BackpressureGate, OracleGate, OverhearingGate
+from repro.buffers.queues import (
+    SHARED_QUEUE_KEY,
+    BufferPolicy,
+    PerDestinationBuffer,
+    PerFlowBuffer,
+    SharedBackpressureBuffer,
+    SharedFifoBuffer,
+)
+
+__all__ = [
+    "FullnessMeter",
+    "BackpressureGate",
+    "OverhearingGate",
+    "OracleGate",
+    "BufferPolicy",
+    "SharedFifoBuffer",
+    "PerFlowBuffer",
+    "PerDestinationBuffer",
+    "SharedBackpressureBuffer",
+    "SHARED_QUEUE_KEY",
+]

@@ -1,0 +1,57 @@
+"""Time-weighted buffer fullness measurement.
+
+GMP declares a buffer *saturated* when it stays full for more than a
+threshold fraction Ω of the measurement period (paper §6.2; the
+threshold is 25%, chosen because saturated buffers measure Ω > 50%
+and unsaturated ones ≈ 0).  :class:`FullnessMeter` accumulates the
+full-time of one queue between period resets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BufferError_
+
+
+class FullnessMeter:
+    """Accumulates how long a queue has been full."""
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self._full_since: float | None = None
+        self._accumulated = 0.0
+        self._window_start = float(start_time)
+        self._last_seen = float(start_time)
+
+    def set_full(self, now: float, is_full: bool) -> None:
+        """Record a fullness transition (idempotent per state)."""
+        self._check_time(now)
+        if is_full and self._full_since is None:
+            self._full_since = now
+        elif not is_full and self._full_since is not None:
+            self._accumulated += now - self._full_since
+            self._full_since = None
+
+    def fraction_full(self, now: float) -> float:
+        """Fraction of the current window spent full (Ω)."""
+        self._check_time(now)
+        total = now - self._window_start
+        if total <= 0:
+            return 0.0
+        accumulated = self._accumulated
+        if self._full_since is not None:
+            accumulated += now - self._full_since
+        return min(1.0, accumulated / total)
+
+    def reset(self, now: float) -> None:
+        """Start a new measurement window at ``now``."""
+        self._check_time(now)
+        self._window_start = now
+        self._accumulated = 0.0
+        if self._full_since is not None:
+            self._full_since = now
+
+    def _check_time(self, now: float) -> None:
+        if now < self._last_seen:
+            raise BufferError_(
+                f"FullnessMeter driven backwards: {now} < {self._last_seen}"
+            )
+        self._last_seen = now

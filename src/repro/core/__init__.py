@@ -1,0 +1,35 @@
+"""GMP — the paper's distributed Global Maxmin Protocol.
+
+The package decomposes the protocol the way the paper does:
+
+* :mod:`repro.core.virtual` — virtual nodes/links/networks (§5.2);
+* :mod:`repro.core.classification` — link types from buffer states (§3);
+* :mod:`repro.core.measurement` — measurement-period bookkeeping (§6.2);
+* :mod:`repro.core.dissemination` — two-hop link-state scope (§6.2);
+* :mod:`repro.core.conditions` — the four local conditions and the
+  rate-adjustment rules they trigger (§4.3, §5.3, §6.3);
+* :mod:`repro.core.requests` — rate-adjustment requests and the
+  control-packet aggregation rule (§6.3);
+* :mod:`repro.core.protocol` — the period-driven protocol engine
+  tying it all together.
+"""
+
+from repro.core.classification import LinkType, classify_link
+from repro.core.config import GmpConfig
+from repro.core.conditions import beta_equal, beta_less
+from repro.core.protocol import GmpProtocol
+from repro.core.requests import RateRequest, RequestKind, aggregate_requests
+from repro.core.virtual import GrandVirtualNetwork
+
+__all__ = [
+    "LinkType",
+    "classify_link",
+    "GmpConfig",
+    "beta_equal",
+    "beta_less",
+    "GmpProtocol",
+    "RateRequest",
+    "RequestKind",
+    "aggregate_requests",
+    "GrandVirtualNetwork",
+]

@@ -1,0 +1,46 @@
+"""Link classification from buffer states (paper §3.2).
+
+A (virtual) link ``(i, j)`` is
+
+* *bandwidth-saturated* when i's buffer is saturated but j's is not:
+  the channel around the link is the bottleneck;
+* *buffer-saturated* when both buffers are saturated: the bottleneck
+  is downstream and backpressure is holding the link back;
+* *unsaturated* when i's buffer is unsaturated.
+
+The destination's virtual node has no queue, so a last-hop link can
+only be bandwidth-saturated or unsaturated.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LinkType(enum.Enum):
+    """The three link types of §3.2."""
+
+    BANDWIDTH_SATURATED = "bandwidth-saturated"
+    BUFFER_SATURATED = "buffer-saturated"
+    UNSATURATED = "unsaturated"
+
+
+def classify_link(upstream_saturated: bool, downstream_saturated: bool) -> LinkType:
+    """Classify a link from its endpoints' buffer saturation states.
+
+    Args:
+        upstream_saturated: is the transmitter's queue saturated?
+        downstream_saturated: is the receiver's queue saturated?
+            (Always False when the receiver is the destination.)
+    """
+    if not upstream_saturated:
+        return LinkType.UNSATURATED
+    if downstream_saturated:
+        return LinkType.BUFFER_SATURATED
+    return LinkType.BANDWIDTH_SATURATED
+
+
+def buffer_is_saturated(omega: float, threshold: float) -> bool:
+    """Apply the Ω threshold rule (§6.2): saturated iff the buffer was
+    full for more than ``threshold`` of the measurement period."""
+    return omega > threshold

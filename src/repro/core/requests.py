@@ -1,0 +1,76 @@
+"""Rate-adjustment requests and control-packet aggregation (§6.3).
+
+Nodes that find a local condition violated issue requests targeting
+specific flows.  At the end of the adjustment period each flow's
+control packet travels its path collecting requests and keeps exactly
+one: the largest reduction if any reduction exists, otherwise the
+smallest increase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+
+class RequestKind(enum.Enum):
+    """Direction of a rate adjustment."""
+
+    INCREASE = "increase"
+    DECREASE = "decrease"
+
+
+@dataclass(frozen=True)
+class RateRequest:
+    """One adjustment request for one flow.
+
+    Attributes:
+        flow_id: target flow.
+        kind: increase or decrease.
+        multiplier: factor applied to the flow's measured rate
+            (decrease: 0.5 for halving or ``1 - beta``) or to its rate
+            limit (increase: 2.0 for doubling or ``1 + beta``).
+        origin: node that issued the request.
+        reason: which condition produced it ("source", "buffer",
+            "bandwidth"); kept for traces and tests.
+    """
+
+    flow_id: int
+    kind: RequestKind
+    multiplier: float
+    origin: int
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.kind is RequestKind.DECREASE and not 0 < self.multiplier < 1:
+            raise ProtocolError(
+                f"decrease multiplier must be in (0,1): {self.multiplier}"
+            )
+        if self.kind is RequestKind.INCREASE and self.multiplier <= 1:
+            raise ProtocolError(
+                f"increase multiplier must exceed 1: {self.multiplier}"
+            )
+
+
+def aggregate_requests(requests: list[RateRequest]) -> RateRequest | None:
+    """The single request a flow's control packet keeps.
+
+    "If there is no rate reduction request, it keeps the rate increase
+    request with the smallest increase.  If there is a rate reduction
+    request, it discards all rate increase requests.  If there are
+    multiple rate reduction requests, it keeps the one with the largest
+    rate reduction."
+    """
+    if not requests:
+        return None
+    flow_ids = {request.flow_id for request in requests}
+    if len(flow_ids) > 1:
+        raise ProtocolError(
+            f"aggregation mixes flows {sorted(flow_ids)}; aggregate per flow"
+        )
+    decreases = [r for r in requests if r.kind is RequestKind.DECREASE]
+    if decreases:
+        return min(decreases, key=lambda r: (r.multiplier, r.origin))
+    return min(requests, key=lambda r: (r.multiplier, r.origin))

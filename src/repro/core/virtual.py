@@ -1,0 +1,120 @@
+"""Virtual nodes, virtual links, and the grand virtual network (§5.2).
+
+Each physical node ``i`` serving destination ``t`` is modeled as a
+virtual node ``i_t`` carrying one queue.  All virtual nodes for ``t``
+form the *virtual network* of ``t``; a virtual link ``(i_t, j_t)``
+exists when ``j`` is ``i``'s next hop toward ``t``.  The union over
+destinations is the *grand virtual network*.
+
+In code a virtual node is the pair ``(node_id, dest)`` and a virtual
+link is ``(link, dest)`` with ``link`` the directed physical pair —
+only nodes on some flow's routing path are instantiated, matching the
+paper's "a node serves a destination if it is on the routing path of a
+flow with that destination".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.flows.flow import FlowSet
+from repro.routing.table import RouteSet
+from repro.topology.network import Link
+
+#: A virtual node: (physical node id, destination).
+VirtualNode = tuple[int, int]
+#: A virtual link: (directed physical link, destination).
+VirtualLink = tuple[Link, int]
+
+
+class GrandVirtualNetwork:
+    """Derived structure of all virtual networks for a flow set."""
+
+    def __init__(self, routes: RouteSet, flows: FlowSet) -> None:
+        self.routes = routes
+        self.flows = flows
+        self._vlinks: dict[int, set[Link]] = {}  # dest -> directed links
+        self._upstream: dict[VirtualNode, set[int]] = {}
+        self._downstream: dict[VirtualNode, int] = {}
+        self._served: dict[int, set[int]] = {}  # node -> destinations
+        self._local_flows: dict[VirtualNode, list[int]] = {}
+        self._flow_links: dict[int, list[Link]] = {}
+        self._flows_on_vlink: dict[VirtualLink, set[int]] = {}
+
+        for flow in flows:
+            path_links = routes.path_links(flow.source, flow.destination)
+            if not path_links:
+                raise ProtocolError(f"flow {flow.flow_id} has an empty path")
+            self._flow_links[flow.flow_id] = path_links
+            dest = flow.destination
+            links_for_dest = self._vlinks.setdefault(dest, set())
+            for i, j in path_links:
+                links_for_dest.add((i, j))
+                self._flows_on_vlink.setdefault(((i, j), dest), set()).add(
+                    flow.flow_id
+                )
+                self._served.setdefault(i, set()).add(dest)
+                self._served.setdefault(j, set()).add(dest)
+                self._upstream.setdefault((j, dest), set()).add(i)
+                self._downstream[(i, dest)] = j
+            self._local_flows.setdefault((flow.source, dest), []).append(
+                flow.flow_id
+            )
+
+    # --- queries --------------------------------------------------------------
+
+    def destinations(self) -> list[int]:
+        """All destinations with a virtual network, sorted."""
+        return sorted(self._vlinks)
+
+    def virtual_links(self, dest: int) -> list[Link]:
+        """Directed physical links of the virtual network for ``dest``."""
+        return sorted(self._vlinks.get(dest, ()))
+
+    def all_virtual_links(self) -> list[VirtualLink]:
+        """Every (link, dest) pair in the grand virtual network."""
+        return sorted(
+            (a_link, dest)
+            for dest, links in self._vlinks.items()
+            for a_link in links
+        )
+
+    def serves(self, node: int, dest: int) -> bool:
+        """True if node ``node`` has a virtual node for ``dest``."""
+        return dest in self._served.get(node, ())
+
+    def served_destinations(self, node: int) -> list[int]:
+        """Destinations node ``node`` serves, sorted."""
+        return sorted(self._served.get(node, ()))
+
+    def upstream_neighbors(self, node: int, dest: int) -> frozenset[int]:
+        """Physical nodes with a virtual link into ``(node, dest)``."""
+        return frozenset(self._upstream.get((node, dest), ()))
+
+    def downstream_neighbor(self, node: int, dest: int) -> int | None:
+        """Next hop of the virtual node ``(node, dest)``; None at the
+        destination itself (or for non-serving nodes)."""
+        return self._downstream.get((node, dest))
+
+    def local_flows(self, node: int, dest: int) -> list[int]:
+        """Flow ids sourced at ``node`` destined for ``dest``."""
+        return list(self._local_flows.get((node, dest), ()))
+
+    def flows_on(self, a_link: Link, dest: int) -> frozenset[int]:
+        """Flows whose path traverses the virtual link."""
+        return frozenset(self._flows_on_vlink.get((a_link, dest), ()))
+
+    def flow_links(self, flow_id: int) -> list[Link]:
+        """Directed links on a flow's routing path.
+
+        Raises:
+            ProtocolError: for unknown flow ids.
+        """
+        try:
+            return list(self._flow_links[flow_id])
+        except KeyError:
+            raise ProtocolError(f"unknown flow {flow_id}") from None
+
+    def nodes_on_path(self, flow_id: int) -> list[int]:
+        """Node ids on the flow's path, source through destination."""
+        links = self.flow_links(flow_id)
+        return [links[0][0]] + [j for (_i, j) in links]

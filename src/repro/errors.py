@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a kernel that has
+    already been stopped, or re-entrant ``run`` calls.
+    """
+
+
+class TopologyError(ReproError):
+    """The wireless topology is malformed or a query referenced a
+    non-existent node or link."""
+
+
+class RoutingError(ReproError):
+    """No route exists, or a routing table would contain a cycle."""
+
+
+class FlowError(ReproError):
+    """A flow specification is invalid (bad endpoints, non-positive
+    weight or desired rate, duplicate flow identifier)."""
+
+
+class MacError(ReproError):
+    """The MAC layer was driven incorrectly (e.g. a transmission was
+    started while another one is in progress on the same radio)."""
+
+
+class BufferError_(ReproError):
+    """A queueing policy was misused (unknown destination queue,
+    negative capacity, dequeue from an empty policy)."""
+
+
+class ProtocolError(ReproError):
+    """The GMP protocol state machine received inconsistent input."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received degenerate input (e.g. empty flow
+    set for a fairness index, infeasible maxmin program)."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""

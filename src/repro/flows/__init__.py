@@ -1,0 +1,17 @@
+"""End-to-end flows, packets, traffic generation, and rate limiting."""
+
+from repro.flows.flow import Flow, FlowSet
+from repro.flows.packet import Packet
+from repro.flows.rate_limiter import TokenBucket
+from repro.flows.traffic import CbrSource, OnOffSource, PoissonSource, TrafficSource
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "Packet",
+    "TokenBucket",
+    "TrafficSource",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+]

@@ -1,0 +1,179 @@
+"""Traffic sources.
+
+A traffic source repeatedly *offers* packets for its flow to the node
+stack through an ``admit`` callback.  Offers are shaped twice:
+
+* by the flow's own arrival process (CBR / Poisson / on-off) at the
+  desirable rate ``d(f)``;
+* by the self-imposed rate limit, enforced with a
+  :class:`~repro.flows.rate_limiter.TokenBucket` (GMP adjusts this
+  limit; the baselines leave it unset).
+
+If ``admit`` returns False (source queue full — buffer-based
+backpressure has reached the source), the packet is simply not
+generated, modeling the paper's "the flow source will generate new
+packets at a smaller rate if the network cannot deliver its desirable
+rate".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FlowError
+from repro.flows.flow import Flow
+from repro.flows.packet import Packet
+from repro.flows.rate_limiter import TokenBucket
+from repro.sim.kernel import Simulator
+
+
+class TrafficSource:
+    """Base class: offer scheduling, rate limiting, and counters.
+
+    Subclasses define the arrival process via :meth:`_next_interval`.
+
+    Args:
+        sim: simulation kernel.
+        flow: the flow this source feeds.
+        admit: callback invoked with each generated packet; returns
+            True if the node stack accepted it.
+        on_generate: optional hook invoked on every *accepted* packet
+            (GMP uses it to piggyback normalized rates).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: Flow,
+        admit: Callable[[Packet], bool],
+        *,
+        on_generate: Callable[[Packet], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.flow = flow
+        self._admit = admit
+        self._on_generate = on_generate
+        self._bucket: TokenBucket | None = None
+        self._started = False
+        self.generated = 0  # offers that passed the rate limit
+        self.admitted = 0  # accepted by the node stack
+        self.rejected = 0  # refused by the node stack (backpressure)
+        self.limited = 0  # suppressed by the rate limit
+
+    # --- rate limit -----------------------------------------------------------
+
+    @property
+    def rate_limit(self) -> float | None:
+        """Current self-imposed limit in packets/second, or None."""
+        return self._bucket.rate if self._bucket is not None else None
+
+    def set_rate_limit(self, limit: float | None) -> None:
+        """Install, change, or remove the source rate limit."""
+        if limit is None:
+            self._bucket = None
+            return
+        if limit <= 0:
+            raise FlowError(f"flow {self.flow.flow_id}: rate limit must be positive")
+        if self._bucket is None:
+            self._bucket = TokenBucket(limit, start_time=self.sim.now)
+        else:
+            self._bucket.set_rate(limit, self.sim.now)
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def start(self, *, offset: float = 0.0) -> None:
+        """Begin offering packets ``offset`` seconds from now."""
+        if self._started:
+            raise FlowError(f"flow {self.flow.flow_id}: source already started")
+        self._started = True
+        self.sim.call_later(offset, self._tick, tag=f"traffic.f{self.flow.flow_id}")
+
+    def _tick(self) -> None:
+        if self._passes_rate_limit():
+            self.generated += 1
+            packet = Packet(
+                flow_id=self.flow.flow_id,
+                source=self.flow.source,
+                destination=self.flow.destination,
+                size_bytes=self.flow.packet_bytes,
+                created_at=self.sim.now,
+            )
+            if self._admit(packet):
+                self.admitted += 1
+                if self._on_generate is not None:
+                    self._on_generate(packet)
+            else:
+                self.rejected += 1
+        else:
+            self.limited += 1
+        self.sim.call_later(
+            self._next_interval(), self._tick, tag=f"traffic.f{self.flow.flow_id}"
+        )
+
+    def _passes_rate_limit(self) -> bool:
+        if self._bucket is None:
+            return True
+        return self._bucket.try_consume(self.sim.now)
+
+    def _next_interval(self) -> float:
+        raise NotImplementedError
+
+
+class CbrSource(TrafficSource):
+    """Constant-bit-rate arrivals at the flow's desirable rate.
+
+    This is the paper's workload: every flow offers a fixed 800
+    packets/second.
+    """
+
+    def _next_interval(self) -> float:
+        return 1.0 / self.flow.desired_rate
+
+
+class PoissonSource(TrafficSource):
+    """Poisson arrivals with mean rate ``d(f)``."""
+
+    def _next_interval(self) -> float:
+        rng = self.sim.rng.stream(f"traffic.poisson.f{self.flow.flow_id}")
+        return float(rng.exponential(1.0 / self.flow.desired_rate))
+
+
+class OnOffSource(TrafficSource):
+    """Exponential on/off bursts; CBR at ``peak_factor * d(f)`` while on.
+
+    With the default mean on/off durations of 1 s each and
+    ``peak_factor=2`` the long-run offered rate equals ``d(f)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: Flow,
+        admit: Callable[[Packet], bool],
+        *,
+        on_generate: Callable[[Packet], None] | None = None,
+        mean_on: float = 1.0,
+        mean_off: float = 1.0,
+        peak_factor: float = 2.0,
+    ) -> None:
+        super().__init__(sim, flow, admit, on_generate=on_generate)
+        if mean_on <= 0 or mean_off <= 0 or peak_factor <= 0:
+            raise FlowError(
+                f"flow {flow.flow_id}: on/off parameters must be positive"
+            )
+        self._mean_on = mean_on
+        self._mean_off = mean_off
+        self._peak_rate = peak_factor * flow.desired_rate
+        self._on_until = 0.0
+
+    def _next_interval(self) -> float:
+        rng = self.sim.rng.stream(f"traffic.onoff.f{self.flow.flow_id}")
+        spacing = 1.0 / self._peak_rate
+        now = self.sim.now
+        if now < self._on_until:
+            return spacing
+        # Burst ended: draw an off period, then a fresh on period.
+        off = float(rng.exponential(self._mean_off))
+        on = float(rng.exponential(self._mean_on))
+        self._on_until = now + off + on
+        return off + spacing

@@ -1,0 +1,161 @@
+"""The shared radio medium.
+
+The channel implements the protocol interference model on top of the
+topology's geometry:
+
+* every node within ``cs_range`` of a transmitter senses energy for
+  the frame's whole airtime (physical carrier sense);
+* a frame is decoded by a node within ``tx_range`` of the sender iff
+  no *other* transmission from a node within ``cs_range`` of the
+  receiver overlapped it in time and the receiver was not itself
+  transmitting;
+* a sensed-but-not-decoded frame (out of decode range, or collided)
+  is reported as *corrupted*, which makes the listener defer EIFS —
+  the asymmetry responsible for 802.11's hidden/exposed terminal
+  unfairness that the paper's Table 3 exhibits.
+
+Propagation delay is neglected (sub-microsecond at these ranges).
+Collisions are tracked incrementally: when a transmission starts it
+corruption-marks every overlapping transmission (and is marked by
+them), so no airtime scanning is needed at frame end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import MacError
+from repro.mac.frames import Frame
+from repro.sim.kernel import Simulator
+from repro.topology.network import Topology
+
+
+class Radio(Protocol):
+    """Callbacks a node's radio registers with the channel."""
+
+    def on_busy_start(self) -> None:
+        """Some transmission within carrier-sense range began."""
+
+    def on_busy_end(self) -> None:
+        """A sensed transmission ended."""
+
+    def on_frame_received(self, frame: Frame) -> None:
+        """A frame was decoded successfully (any addressee)."""
+
+    def on_frame_corrupted(self) -> None:
+        """A sensed frame ended but could not be decoded."""
+
+    def on_tx_end(self, frame: Frame) -> None:
+        """This node's own transmission finished."""
+
+
+@dataclass
+class _Transmission:
+    frame: Frame
+    sender: int
+    start: float
+    end: float
+    corrupted_at: set[int] = field(default_factory=set)
+
+
+class Channel:
+    """Event-driven broadcast medium over a :class:`Topology`."""
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._radios: dict[int, Radio] = {}
+        self._active: list[_Transmission] = []
+        self._transmitting: set[int] = set()
+        # Statistics.
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_corrupted = 0
+
+    def register(self, node_id: int, radio: Radio) -> None:
+        """Attach a node's radio callbacks.
+
+        Raises:
+            MacError: if the node is already registered.
+        """
+        if node_id in self._radios:
+            raise MacError(f"radio for node {node_id} already registered")
+        self.topology.node(node_id)
+        self._radios[node_id] = radio
+
+    def is_transmitting(self, node_id: int) -> bool:
+        """True while ``node_id`` has a frame on the air."""
+        return node_id in self._transmitting
+
+    def transmit(self, sender: int, frame: Frame) -> None:
+        """Put ``frame`` on the air from ``sender``.
+
+        Raises:
+            MacError: if the sender is unregistered or already
+                transmitting.
+        """
+        if sender not in self._radios:
+            raise MacError(f"node {sender} has no registered radio")
+        if sender in self._transmitting:
+            raise MacError(f"node {sender} is already transmitting")
+        if frame.duration <= 0:
+            raise MacError(f"frame duration must be positive: {frame.duration}")
+
+        now = self.sim.now
+        transmission = _Transmission(
+            frame=frame, sender=sender, start=now, end=now + frame.duration
+        )
+        # Mutual corruption marking with every overlapping transmission.
+        for other in self._active:
+            # The new transmission corrupts receptions of `other` at all
+            # nodes the new sender interferes with, and vice versa.
+            for node_id in self._radios:
+                if self.topology.interferes(sender, node_id):
+                    other.corrupted_at.add(node_id)
+                if self.topology.interferes(other.sender, node_id):
+                    transmission.corrupted_at.add(node_id)
+            # A transmitting node cannot receive.
+            other.corrupted_at.add(sender)
+            transmission.corrupted_at.add(other.sender)
+
+        self._active.append(transmission)
+        self._transmitting.add(sender)
+        self.frames_sent += 1
+        if self.sim.trace.wants("channel.tx"):
+            self.sim.trace.emit(now, "channel.tx", frame=frame.describe())
+
+        sensing = [
+            node_id
+            for node_id in self._radios
+            if self.topology.senses(sender, node_id)
+        ]
+        for node_id in sensing:
+            self._radios[node_id].on_busy_start()
+        self.sim.call_at(
+            transmission.end,
+            lambda: self._finish(transmission, sensing),
+            tag="channel.end",
+        )
+
+    def _finish(self, transmission: _Transmission, sensing: list[int]) -> None:
+        self._active.remove(transmission)
+        self._transmitting.discard(transmission.sender)
+        sender = transmission.sender
+        frame = transmission.frame
+
+        for node_id in sensing:
+            self._radios[node_id].on_busy_end()
+
+        for node_id in sensing:
+            radio = self._radios[node_id]
+            decodable = self.topology.decodes(sender, node_id)
+            clean = node_id not in transmission.corrupted_at
+            if decodable and clean:
+                self.frames_delivered += 1
+                radio.on_frame_received(frame)
+            else:
+                self.frames_corrupted += 1
+                radio.on_frame_corrupted()
+
+        self._radios[sender].on_tx_end(frame)

@@ -1,0 +1,273 @@
+"""Fluid MAC: deterministic clique-capacity sharing.
+
+A fast substitute for the packet-level DCF.  Time advances in fixed
+rounds; in each round every *backlogged* directed link receives a rate
+by equal-share water-filling subject to the constraint that the links
+of each contention clique jointly serialize on one channel of
+``capacity_pps`` packet exchanges per second — the idealization of DCF
+the paper itself uses ("IEEE 802.11 DCF allocates channel capacity
+equally between the two links", §4.1).
+
+The model preserves what the upper layers care about: backpressure
+dynamics (transfers stop when the downstream queue refuses packets),
+per-link channel occupancy, and clique saturation.  It deliberately
+omits collisions, hidden-terminal asymmetry, and EIFS effects — use
+:class:`~repro.mac.dcf.DcfMac` to observe those.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError, MacError
+from repro.mac.base import MacLayer, NodeServices
+from repro.mac.phy import DEFAULT_PHY, PhyProfile
+from repro.sim.kernel import Simulator
+from repro.topology.cliques import Clique, maximal_cliques
+from repro.topology.contention import ContentionGraph
+from repro.topology.network import Link, Topology
+
+_EPSILON = 1e-9
+
+
+def waterfill_links(
+    demands: dict[Link, float],
+    cliques: list[Clique],
+    capacity: float,
+    *,
+    rate_caps: dict[Link, float] | None = None,
+) -> dict[Link, float]:
+    """Equal-share maxmin allocation of link rates under clique capacity.
+
+    Args:
+        demands: offered rate per *directed* link (only backlogged links).
+        cliques: maximal contention cliques (over canonical links).
+        capacity: packets/second a clique can serialize.
+        rate_caps: optional hard per-link rate ceilings (used to model
+            artificially slow links in experiments).
+
+    Returns:
+        Allocated rate per directed link; never exceeds the demand, the
+        cap, or any clique's capacity.
+    """
+    rate_caps = rate_caps or {}
+    active = [a_link for a_link, demand in demands.items() if demand > _EPSILON]
+    alloc = {a_link: 0.0 for a_link in active}
+    if not active:
+        return alloc
+
+    limit = {
+        a_link: min(demands[a_link], rate_caps.get(a_link, math.inf))
+        for a_link in active
+    }
+    members: dict[int, list[Link]] = {}
+    remaining: dict[int, float] = {}
+    for index, clique in enumerate(cliques):
+        inside = [a_link for a_link in active if a_link in clique]
+        if inside:
+            members[index] = inside
+            remaining[index] = capacity
+
+    unfrozen = set(active)
+    while unfrozen:
+        # Distance to the next event: a link reaching its limit or a
+        # clique exhausting its remaining capacity.
+        step = min(limit[a_link] - alloc[a_link] for a_link in unfrozen)
+        for index, inside in members.items():
+            count = sum(1 for a_link in inside if a_link in unfrozen)
+            if count:
+                step = min(step, remaining[index] / count)
+        if step < 0:
+            step = 0.0
+
+        for a_link in unfrozen:
+            alloc[a_link] += step
+        saturated_links: set[Link] = set()
+        for index, inside in members.items():
+            count = sum(1 for a_link in inside if a_link in unfrozen)
+            if count == 0:
+                continue
+            remaining[index] -= step * count
+            if remaining[index] <= _EPSILON:
+                saturated_links.update(
+                    a_link for a_link in inside if a_link in unfrozen
+                )
+        for a_link in list(unfrozen):
+            if alloc[a_link] >= limit[a_link] - _EPSILON:
+                saturated_links.add(a_link)
+        if not saturated_links:
+            # Nothing froze: every unfrozen link is unconstrained, which
+            # can only happen if step was 0 for numerical reasons.
+            break
+        unfrozen -= saturated_links
+    return alloc
+
+
+class FluidMac(MacLayer):
+    """The fluid substrate.
+
+    Args:
+        sim: simulation kernel.
+        topology: the wireless network.
+        round_interval: seconds between allocation/transfer rounds.
+        capacity_pps: packet exchanges per second a clique serializes;
+            defaults to the PHY saturation rate for ``packet_bytes``
+            payloads with three contenders (matching the paper's
+            observed clique throughput).
+        phy: PHY profile used for the capacity default.
+        packet_bytes: payload size for the capacity default.
+        rate_caps: optional per-directed-link rate ceilings.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        round_interval: float = 0.02,
+        capacity_pps: float | None = None,
+        phy: PhyProfile = DEFAULT_PHY,
+        packet_bytes: int = 1024,
+        rate_caps: dict[Link, float] | None = None,
+    ) -> None:
+        if round_interval <= 0:
+            raise ConfigError(f"round interval must be positive: {round_interval}")
+        self.sim = sim
+        self.topology = topology
+        self.round_interval = round_interval
+        if capacity_pps is None:
+            capacity_pps = phy.saturation_rate(packet_bytes, contenders=3)
+        if capacity_pps <= 0:
+            raise ConfigError(f"capacity must be positive: {capacity_pps}")
+        self.capacity_pps = capacity_pps
+        self.rate_caps = dict(rate_caps or {})
+        self._graph = ContentionGraph(topology)
+        self._cliques = maximal_cliques(self._graph)
+        self._services: dict[int, NodeServices] = {}
+        self._credit: dict[Link, float] = {}
+        self._occupancy: dict[int, dict[Link, float]] = {}
+        self._busy: dict[int, float] = {}
+        self._sensing_cache: dict[int, frozenset[int]] = {}
+        self._started = False
+        self.packets_transferred = 0
+
+    # --- MacLayer interface -----------------------------------------------------
+
+    def attach_node(self, node_id: int, services: NodeServices) -> None:
+        if node_id in self._services:
+            raise MacError(f"node {node_id} already attached")
+        if services.eligible_links is None or services.dequeue_for is None:
+            raise MacError(
+                "FluidMac requires NodeServices.eligible_links and "
+                "dequeue_for (batch accessors)"
+            )
+        self.topology.node(node_id)
+        self._services[node_id] = services
+        self._occupancy[node_id] = {}
+        self._busy[node_id] = 0.0
+
+    def start(self) -> None:
+        if self._started:
+            raise MacError("FluidMac already started")
+        self._started = True
+        self.sim.every(self.round_interval, self._round, tag="fluid.round")
+
+    def notify_backlog(self, node_id: int) -> None:
+        # Rounds poll eligibility; nothing to do eagerly.
+        pass
+
+    def occupancy_snapshot(self, node_id: int) -> dict[Link, float]:
+        try:
+            return dict(self._occupancy[node_id])
+        except KeyError:
+            raise MacError(f"node {node_id} not attached") from None
+
+    def reset_occupancy(self, node_id: int) -> None:
+        try:
+            self._occupancy[node_id].clear()
+        except KeyError:
+            raise MacError(f"node {node_id} not attached") from None
+
+    def busy_snapshot(self, node_id: int) -> float:
+        try:
+            return self._busy[node_id]
+        except KeyError:
+            raise MacError(f"node {node_id} not attached") from None
+
+    def reset_busy(self, node_id: int) -> None:
+        try:
+            self._busy[node_id] = 0.0
+        except KeyError:
+            raise MacError(f"node {node_id} not attached") from None
+
+    # --- round machinery ------------------------------------------------------------
+
+    def _round(self) -> None:
+        interval = self.round_interval
+        demands: dict[Link, float] = {}
+        for node_id in sorted(self._services):
+            eligible = self._services[node_id].eligible_links()
+            for a_link, count in eligible.items():
+                if count > 0:
+                    demands[a_link] = count / interval
+
+        alloc = waterfill_links(
+            demands, self._cliques, self.capacity_pps, rate_caps=self.rate_caps
+        )
+
+        # Per-link packet budgets for this round (fractional credit
+        # carries over between rounds).
+        budgets: dict[Link, int] = {}
+        for a_link, rate in alloc.items():
+            credit = self._credit.get(a_link, 0.0) + rate * interval
+            budgets[a_link] = int(credit + _EPSILON)
+            self._credit[a_link] = credit - budgets[a_link]
+
+        # Transfer in repeated passes until no link makes progress: a
+        # downstream queue drained late in a pass can unblock an
+        # upstream link's backpressure gate within the same round,
+        # which mirrors the per-packet interleaving of the real MAC.
+        sent_per_link: dict[Link, int] = {a_link: 0 for a_link in budgets}
+        progress = True
+        while progress:
+            progress = False
+            for a_link in sorted(budgets):
+                if sent_per_link[a_link] >= budgets[a_link]:
+                    continue
+                sender, receiver = a_link
+                source = self._services[sender]
+                sink = self._services.get(receiver)
+                assert source.dequeue_for is not None
+                packet = source.dequeue_for(receiver)
+                if packet is None:
+                    continue
+                if sink is not None:
+                    sink.on_data_received(packet, sender)
+                sent_per_link[a_link] += 1
+                progress = True
+
+        for a_link, sent in sent_per_link.items():
+            if not sent:
+                # Unused whole-packet budget is discarded (airtime
+                # cannot be banked across a blocked round).
+                continue
+            self.packets_transferred += sent
+            airtime = sent / self.capacity_pps
+            sender, receiver = a_link
+            node_occ = self._occupancy[sender]
+            node_occ[a_link] = node_occ.get(a_link, 0.0) + airtime
+            if receiver in self._occupancy:
+                # Receiver-side accumulator stays zero (the sender holds
+                # the full exchange airtime); create the key so
+                # snapshots list the link.
+                self._occupancy[receiver].setdefault(a_link, 0.0)
+            # Busy-time attribution: every node sensing the sender (or
+            # the sender itself) perceives the channel busy for the
+            # exchange's airtime.
+            sensing = self._sensing_cache.get(sender)
+            if sensing is None:
+                sensing = self.topology.sensing_nodes(sender) | {sender}
+                self._sensing_cache[sender] = sensing
+            for node_id in sensing:
+                if node_id in self._busy:
+                    self._busy[node_id] += airtime

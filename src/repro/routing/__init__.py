@@ -1,0 +1,29 @@
+"""Routing substrate.
+
+The paper assumes "there exists a routing protocol that establishes a
+routing table at each node" (§2.1).  We provide two ways to build
+those tables over a :class:`~repro.topology.Topology`:
+
+* :func:`link_state_routes` — Dijkstra shortest paths (link-state);
+* :func:`distance_vector_routes` — iterative Bellman–Ford
+  (distance-vector), converging the way RIP-style protocols do.
+
+Both produce the same next hops on unit-cost topologies (asserted by
+tests) and both are validated to be loop-free per destination.
+"""
+
+from repro.routing.table import RouteSet, RoutingTable
+from repro.routing.link_state import link_state_routes
+from repro.routing.distance_vector import distance_vector_routes
+from repro.routing.geographic import greedy_geographic_routes
+from repro.routing.validate import assert_acyclic, routing_is_acyclic
+
+__all__ = [
+    "RouteSet",
+    "RoutingTable",
+    "link_state_routes",
+    "distance_vector_routes",
+    "greedy_geographic_routes",
+    "assert_acyclic",
+    "routing_is_acyclic",
+]

@@ -1,0 +1,107 @@
+"""Routing tables and the network-wide route set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.topology.network import Link
+
+
+@dataclass
+class RoutingTable:
+    """Next-hop table of one node.
+
+    Attributes:
+        node_id: owner of the table.
+        next_hops: destination → next-hop neighbor.  A destination maps
+            to itself when the owner *is* the destination.
+    """
+
+    node_id: int
+    next_hops: dict[int, int] = field(default_factory=dict)
+
+    def next_hop(self, destination: int) -> int:
+        """Neighbor to forward to for ``destination``.
+
+        Raises:
+            RoutingError: if the destination is unreachable.
+        """
+        if destination == self.node_id:
+            return self.node_id
+        try:
+            return self.next_hops[destination]
+        except KeyError:
+            raise RoutingError(
+                f"node {self.node_id} has no route to {destination}"
+            ) from None
+
+    def has_route(self, destination: int) -> bool:
+        """True if the destination is reachable (or is the owner)."""
+        return destination == self.node_id or destination in self.next_hops
+
+    def destinations(self) -> list[int]:
+        """All reachable destinations, sorted (excluding the owner)."""
+        return sorted(self.next_hops)
+
+
+class RouteSet:
+    """All routing tables of a network plus path/link derivations.
+
+    This is the object the rest of the library consumes: the scenario
+    runner asks it for flow paths, GMP asks which links serve a given
+    destination (to build virtual networks).
+    """
+
+    def __init__(self, tables: dict[int, RoutingTable]) -> None:
+        self._tables = dict(tables)
+
+    def table(self, node_id: int) -> RoutingTable:
+        """The routing table of ``node_id``.
+
+        Raises:
+            RoutingError: for unknown nodes.
+        """
+        try:
+            return self._tables[node_id]
+        except KeyError:
+            raise RoutingError(f"no routing table for node {node_id}") from None
+
+    def next_hop(self, node_id: int, destination: int) -> int:
+        """Shortcut for ``table(node_id).next_hop(destination)``."""
+        return self.table(node_id).next_hop(destination)
+
+    def path(self, source: int, destination: int) -> list[int]:
+        """Node sequence from ``source`` to ``destination`` inclusive.
+
+        Raises:
+            RoutingError: if the route is missing or contains a loop.
+        """
+        path = [source]
+        current = source
+        limit = len(self._tables) + 1
+        while current != destination:
+            current = self.next_hop(current, destination)
+            if current in path:
+                raise RoutingError(
+                    f"routing loop toward {destination}: {path + [current]}"
+                )
+            path.append(current)
+            if len(path) > limit:
+                raise RoutingError(
+                    f"path from {source} to {destination} exceeds node count"
+                )
+        return path
+
+    def path_links(self, source: int, destination: int) -> list[Link]:
+        """Directed links of the path from ``source`` to ``destination``."""
+        path = self.path(source, destination)
+        return list(zip(path, path[1:]))
+
+    def hop_count(self, source: int, destination: int) -> int:
+        """Number of links on the route."""
+        return len(self.path(source, destination)) - 1
+
+    def node_ids(self) -> list[int]:
+        """All nodes with a routing table, sorted."""
+        return sorted(self._tables)

@@ -1,0 +1,23 @@
+"""Scenario layer: the paper's evaluation topologies and the runner
+that assembles a full stack (topology → routing → buffers → MAC →
+protocol → traffic) and collects results."""
+
+from repro.scenarios.figures import (
+    Scenario,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+)
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+
+__all__ = [
+    "Scenario",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "RunResult",
+    "run_scenario",
+]

@@ -1,0 +1,87 @@
+"""Run results.
+
+A :class:`RunResult` carries everything the paper's tables report —
+per-flow end-to-end rates, the effective network throughput ``U``, and
+the two fairness indices — plus diagnostics (drops, protocol request
+counts, rate-limit trajectories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.fairness import (
+    equality_fairness_index,
+    maxmin_fairness_index,
+)
+from repro.analysis.report import format_table
+from repro.flows.flow import FlowSet
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated session.
+
+    Attributes:
+        scenario: scenario name.
+        protocol: "gmp", "802.11", "2pp", or a queueing-only mode.
+        substrate: "dcf" or "fluid".
+        duration: simulated seconds.
+        warmup: seconds excluded from rate measurement.
+        seed: RNG seed.
+        flow_rates: delivered packets/second per flow over
+            ``[warmup, duration]``.
+        hop_counts: routing-path hop count per flow.
+        effective_throughput: ``U = sum r(f) * l_f``.
+        buffer_drops: packets lost to queue admission network-wide.
+        mac_drops: packets discarded by MAC retry exhaustion.
+        extras: protocol-specific diagnostics (e.g. GMP rate-limit
+            history, 2PP allocation).
+    """
+
+    scenario: str
+    protocol: str
+    substrate: str
+    duration: float
+    warmup: float
+    seed: int
+    flow_rates: dict[int, float]
+    hop_counts: dict[int, int]
+    effective_throughput: float
+    buffer_drops: int = 0
+    mac_drops: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def i_mm(self) -> float:
+        """Maxmin fairness index over raw flow rates."""
+        return maxmin_fairness_index(self.flow_rates.values())
+
+    @property
+    def i_eq(self) -> float:
+        """Chiu–Jain equality index over raw flow rates."""
+        return equality_fairness_index(self.flow_rates.values())
+
+    def normalized_rates(self, flows: FlowSet) -> dict[int, float]:
+        """Per-flow normalized rates ``r(f)/w(f)``."""
+        return {
+            flow_id: flows.get(flow_id).normalized(rate)
+            for flow_id, rate in self.flow_rates.items()
+        }
+
+    def summary_table(self) -> str:
+        """Paper-style text table of this run."""
+        rows: list[list[object]] = [
+            [f"f{flow_id}", float(rate)]
+            for flow_id, rate in sorted(self.flow_rates.items())
+        ]
+        rows.append(["U", float(self.effective_throughput)])
+        rows.append(["I_mm", float(self.i_mm)])
+        rows.append(["I_eq", float(self.i_eq)])
+        return format_table(
+            ["metric", self.protocol],
+            rows,
+            title=f"{self.scenario} ({self.substrate}, {self.duration:g}s)",
+            float_format="{:.3f}",
+        )

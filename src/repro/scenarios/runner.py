@@ -1,0 +1,285 @@
+"""Scenario runner: assemble a full stack and simulate a session.
+
+``run_scenario`` is the library's main entry point.  It builds routing
+tables, the chosen MAC substrate, one node stack per node with the
+protocol's buffer policy, CBR traffic sources at the paper's desirable
+rate, and (for GMP) the protocol engine; runs the session; and returns
+a :class:`~repro.scenarios.results.RunResult` with warmup-excluded
+end-to-end rates.
+
+Protocols:
+
+* ``"gmp"`` — per-destination queues + backpressure + the GMP engine;
+* ``"802.11"`` — shared 300-packet FIFO with tail overwrite, no rate
+  control;
+* ``"2pp"`` — per-flow 10-packet queues with the two-phase allocation
+  enforced as static source rate limits;
+* ``"backpressure-shared"`` / ``"backpressure-perdest"`` — queueing-
+  only modes (no rate adaptation) used by the Figure-1 isolation
+  experiment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import effective_network_throughput
+from repro.baselines.dcf_plain import plain_dcf_buffer
+from repro.baselines.two_phase import two_phase_rates
+from repro.buffers.backpressure import OracleGate, OverhearingGate
+from repro.buffers.queues import (
+    BufferPolicy,
+    PerDestinationBuffer,
+    PerFlowBuffer,
+    SharedBackpressureBuffer,
+)
+from repro.core.config import GmpConfig
+from repro.core.protocol import GmpProtocol
+from repro.errors import ConfigError
+from repro.flows.traffic import CbrSource, OnOffSource, PoissonSource, TrafficSource
+
+TRAFFIC_MODELS = {
+    "cbr": CbrSource,
+    "poisson": PoissonSource,
+    "onoff": OnOffSource,
+}
+from repro.mac.dcf import DcfConfig, DcfMac
+from repro.mac.fluid import FluidMac
+from repro.mac.phy import DEFAULT_PHY, PhyProfile
+from repro.routing.distance_vector import distance_vector_routes
+from repro.routing.geographic import greedy_geographic_routes
+from repro.routing.link_state import link_state_routes
+from repro.routing.validate import assert_acyclic
+
+ROUTING_PROTOCOLS = {
+    "link_state": link_state_routes,
+    "distance_vector": distance_vector_routes,
+    "geographic": greedy_geographic_routes,
+}
+from repro.scenarios.figures import Scenario
+from repro.scenarios.results import RunResult
+from repro.sim.kernel import Simulator
+from repro.stack import NodeStack
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+
+PROTOCOLS = ("gmp", "802.11", "2pp", "backpressure-shared", "backpressure-perdest")
+SUBSTRATES = ("dcf", "fluid")
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    protocol: str = "gmp",
+    substrate: str = "dcf",
+    duration: float = 60.0,
+    warmup: float | None = None,
+    seed: int = 0,
+    gmp_config: GmpConfig | None = None,
+    phy: PhyProfile = DEFAULT_PHY,
+    dcf_config: DcfConfig | None = None,
+    capacity_pps: float | None = None,
+    fluid_round: float = 0.02,
+    traffic: str = "cbr",
+    routing: str = "link_state",
+) -> RunResult:
+    """Simulate one session and measure end-to-end flow rates.
+
+    Args:
+        scenario: topology + flows (see :mod:`repro.scenarios.figures`).
+        protocol: one of :data:`PROTOCOLS`.
+        substrate: "dcf" (packet-level 802.11) or "fluid".
+        duration: simulated seconds.
+        warmup: seconds excluded from rate measurement; defaults to
+            ``duration / 3``.
+        seed: RNG seed (runs are fully deterministic given it).
+        gmp_config: GMP parameters (default: the paper's).
+        phy: PHY profile (timing + capacity estimates).
+        dcf_config: DCF tunables (EIFS ablation etc.).
+        capacity_pps: clique capacity for the fluid substrate and the
+            2PP allocation; defaults to the PHY saturation estimate.
+        fluid_round: fluid substrate round interval.
+        traffic: arrival process at the sources — "cbr" (the paper's
+            workload), "poisson", or "onoff".
+        routing: how routing tables are built — "link_state" (default),
+            "distance_vector", or "geographic" (GPSR-style greedy).
+
+    Raises:
+        ConfigError: on unknown protocol/substrate names or
+            inconsistent durations.
+    """
+    if protocol not in PROTOCOLS:
+        raise ConfigError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
+    if traffic not in TRAFFIC_MODELS:
+        raise ConfigError(
+            f"unknown traffic model {traffic!r}; pick from {tuple(TRAFFIC_MODELS)}"
+        )
+    if routing not in ROUTING_PROTOCOLS:
+        raise ConfigError(
+            f"unknown routing {routing!r}; pick from {tuple(ROUTING_PROTOCOLS)}"
+        )
+    if substrate not in SUBSTRATES:
+        raise ConfigError(f"unknown substrate {substrate!r}; pick from {SUBSTRATES}")
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive: {duration}")
+    if warmup is None:
+        warmup = duration / 3.0
+    if not 0 <= warmup < duration:
+        raise ConfigError(f"warmup {warmup} must lie within [0, {duration})")
+
+    gmp_config = gmp_config or GmpConfig()
+    topology = scenario.topology
+    flows = scenario.flows
+    routes = ROUTING_PROTOCOLS[routing](topology)
+    assert_acyclic(routes, flows.destinations())
+
+    sim = Simulator(seed=seed)
+    if capacity_pps is None:
+        packet_bytes = max(flow.packet_bytes for flow in flows)
+        capacity_pps = phy.saturation_rate(packet_bytes, contenders=3)
+
+    if substrate == "dcf":
+        mac = DcfMac(sim, topology, phy=phy, config=dcf_config or DcfConfig())
+    else:
+        mac = FluidMac(
+            sim,
+            topology,
+            round_interval=fluid_round,
+            capacity_pps=capacity_pps,
+            rate_caps=scenario.rate_caps,
+        )
+
+    stacks: dict[int, NodeStack] = {}
+
+    def oracle_lookup(neighbor: int, dest: int) -> bool:
+        buffer = stacks[neighbor].buffer
+        return buffer.has_free(dest)  # type: ignore[attr-defined]
+
+    def make_gate():
+        if substrate == "fluid":
+            return OracleGate(oracle_lookup)
+        return OverhearingGate(stale_timeout=gmp_config.stale_timeout)
+
+    def make_buffer(node_id: int) -> BufferPolicy:
+        def next_hop(dest: int, node_id=node_id) -> int:
+            return routes.next_hop(node_id, dest)
+
+        if protocol == "802.11":
+            return plain_dcf_buffer(node_id, next_hop)
+        if protocol == "2pp":
+            return PerFlowBuffer(node_id, next_hop, per_flow_capacity=10)
+        if protocol == "backpressure-shared":
+            return SharedBackpressureBuffer(
+                node_id, next_hop, make_gate(), capacity=gmp_config.queue_capacity
+            )
+        # gmp and backpressure-perdest
+        return PerDestinationBuffer(
+            node_id,
+            next_hop,
+            make_gate(),
+            per_dest_capacity=gmp_config.queue_capacity,
+        )
+
+    for node_id in topology.node_ids:
+        stack = NodeStack(
+            sim,
+            node_id,
+            make_buffer(node_id),
+            mac,
+            stale_retry=gmp_config.stale_timeout,
+        )
+        stack.attach()
+        stacks[node_id] = stack
+
+    gmp: GmpProtocol | None = None
+    if protocol == "gmp":
+        gmp = GmpProtocol(
+            sim, topology, routes, flows, mac, stacks, config=gmp_config
+        )
+        for stack in stacks.values():
+            stack.observer = gmp.observer()
+
+    sources: dict[int, TrafficSource] = {}
+    source_cls = TRAFFIC_MODELS[traffic]
+    for flow in flows:
+        stack = stacks[flow.source]
+        on_generate = gmp.stamp if gmp is not None else None
+        source = source_cls(sim, flow, stack.admit_local, on_generate=on_generate)
+        sources[flow.flow_id] = source
+        if gmp is not None:
+            gmp.register_source(flow.flow_id, source)
+
+    extras: dict[str, object] = {}
+    if protocol == "2pp":
+        graph = ContentionGraph(topology)
+        cliques = maximal_cliques(graph)
+        allocation = two_phase_rates(flows, routes, cliques, capacity_pps)
+        for flow_id, rate in allocation.rates.items():
+            sources[flow_id].set_rate_limit(max(rate, 1.0))
+        extras["two_phase"] = allocation
+
+    mac.start()
+    if gmp is not None:
+        gmp.start()
+    jitter = sim.rng.stream("runner.start_jitter")
+    for flow_id in sorted(sources):
+        flow = flows.get(flow_id)
+        offset = float(jitter.uniform(0.0, 1.0 / flow.desired_rate))
+        sources[flow_id].start(offset=offset)
+
+    # Snapshot deliveries at the end of warmup, measure until the end.
+    warm_counts: dict[int, int] = {}
+
+    def snapshot() -> None:
+        for flow in flows:
+            sink = stacks[flow.destination]
+            warm_counts[flow.flow_id] = sink.delivered.get(flow.flow_id, 0)
+
+    sim.call_at(warmup, snapshot, tag="runner.warmup")
+    sim.run(until=duration)
+
+    window = duration - warmup
+    flow_rates: dict[int, float] = {}
+    hop_counts: dict[int, int] = {}
+    flow_delays: dict[int, float] = {}
+    for flow in flows:
+        sink = stacks[flow.destination]
+        delivered = sink.delivered.get(flow.flow_id, 0) - warm_counts.get(
+            flow.flow_id, 0
+        )
+        flow_rates[flow.flow_id] = delivered / window
+        hop_counts[flow.flow_id] = routes.hop_count(flow.source, flow.destination)
+        total = sink.delivered.get(flow.flow_id, 0)
+        flow_delays[flow.flow_id] = (
+            sink.delay_sum.get(flow.flow_id, 0.0) / total if total else float("nan")
+        )
+    extras["flow_delays"] = flow_delays
+
+    buffer_drops = sum(stack.buffer.drops for stack in stacks.values())
+    mac_drops = sum(stack.mac_drops for stack in stacks.values())
+
+    if gmp is not None:
+        extras["rate_limits"] = gmp.rate_limits()
+        extras["limit_history"] = {
+            flow.flow_id: gmp.limit_history(flow.flow_id) for flow in flows
+        }
+        extras["requests_issued"] = len(gmp.requests_issued)
+        extras["violations_found"] = gmp.violations_found
+        extras["control_broadcast_cost"] = (
+            gmp.scope.link_state_broadcasts + gmp.scope.notice_broadcasts
+        )
+
+    return RunResult(
+        scenario=scenario.name,
+        protocol=protocol,
+        substrate=substrate,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        flow_rates=flow_rates,
+        hop_counts=hop_counts,
+        effective_throughput=effective_network_throughput(
+            flow_rates, flows, routes
+        ),
+        buffer_drops=buffer_drops,
+        mac_drops=mac_drops,
+        extras=extras,
+    )

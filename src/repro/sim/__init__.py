@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete event-driven kernel: a binary-heap event queue
+(:mod:`repro.sim.event`), a :class:`~repro.sim.kernel.Simulator` facade
+with timers and stop conditions, deterministic named random streams
+(:mod:`repro.sim.rng`), and a structured trace collector
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceCollector, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Timer",
+    "RngRegistry",
+    "TraceCollector",
+    "TraceRecord",
+]

@@ -1,0 +1,115 @@
+"""Event objects and the pending-event heap.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number makes ordering total and FIFO among simultaneous equal-priority
+events, which keeps runs reproducible regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+#: Default event priority.  Lower runs first among simultaneous events.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (seconds) at which to fire.
+        priority: tie-breaker among simultaneous events (lower first).
+        seq: insertion sequence number; makes ordering total.
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+        tag: free-form label used by traces and debugging.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+
+class EventQueue:
+    """A heap of pending :class:`Event` objects.
+
+    Cancelled events stay in the heap and are lazily discarded when
+    popped, which makes :meth:`Event.cancel` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if event.active)
+
+    def __bool__(self) -> bool:
+        return any(event.active for event in self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float:
+        """Time of the earliest active event.
+
+        Raises:
+            SimulationError: if the queue holds no active events.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise SimulationError("peek on an empty event queue")
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the earliest active event.
+
+        Raises:
+            SimulationError: if the queue holds no active events.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise SimulationError("pop on an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,221 @@
+"""The simulation kernel: clock, scheduling, timers, and run control."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceCollector
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    A timer wraps a pending event and supports the cancel/restart
+    pattern MAC state machines need (e.g. CTS timeout, defer timers).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        callback: Callable[[], None],
+        *,
+        tag: str = "timer",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._tag = tag
+        self._priority = priority
+        self._event: Event | None = None
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not yet fired."""
+        return self._event is not None and self._event.active
+
+    @property
+    def expires_at(self) -> float | None:
+        """Absolute expiry time, or None when not armed."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now, replacing any
+        previously armed expiry."""
+        self.cancel()
+        self._event = self._sim.call_later(
+            delay, self._fire, priority=self._priority, tag=self._tag
+        )
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Safe to call when not armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class Simulator:
+    """Discrete-event simulator facade.
+
+    Owns the clock, the event queue, the seeded RNG registry and the
+    trace collector.  All model components schedule through one
+    Simulator instance, so a scenario is fully described by (model,
+    seed) and replays identically.
+    """
+
+    def __init__(self, *, seed: int = 0, trace: TraceCollector | None = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceCollector(enabled=False)
+        self._events_processed = 0
+
+    # --- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (excludes cancelled)."""
+        return self._events_processed
+
+    # --- scheduling ---------------------------------------------------------
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
+            )
+        return self._queue.push(time, callback, priority=priority, tag=tag)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback, priority=priority, tag=tag)
+
+    def timer(
+        self,
+        callback: Callable[[], None],
+        *,
+        tag: str = "timer",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Timer:
+        """Create an unarmed :class:`Timer` bound to this simulator."""
+        return Timer(self, callback, tag=tag, priority=priority)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_at: float | None = None,
+        tag: str = "periodic",
+    ) -> Callable[[], None]:
+        """Run ``callback`` periodically.
+
+        The first firing is at ``start_at`` (default: now + interval).
+        Returns a zero-argument function that stops the recurrence.
+
+        Raises:
+            SimulationError: if ``interval`` is not positive.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive: {interval}")
+        state = {"event": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["event"] = self.call_later(interval, fire, tag=tag)
+
+        first = self._now + interval if start_at is None else start_at
+        state["event"] = self.call_at(first, fire, tag=tag)
+
+        def stop() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return stop
+
+    # --- run control --------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after the
+        in-flight event completes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, *, max_events: int | None = None) -> float:
+        """Dispatch events in time order.
+
+        Args:
+            until: stop once the clock would pass this time; the clock
+                is then advanced exactly to ``until``.  ``None`` runs
+                until the event queue drains.
+            max_events: optional safety valve on dispatched events.
+
+        Returns:
+            The simulation time when the run stopped.
+
+        Raises:
+            SimulationError: on re-entrant ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._events_processed += 1
+                if max_events is not None and self._events_processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway model?"
+                    )
+                event.callback()
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,85 @@
+"""Structured trace collection.
+
+Model components emit ``TraceRecord`` rows tagged with a category
+(``"mac.tx"``, ``"gmp.adjust"``, ...).  Tracing is off by default; when
+enabled it supports category filters so long DCF runs do not drown in
+backoff noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row: time, category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        detail = " ".join(f"{key}={value}" for key, value in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category:<20} {detail}"
+
+
+class TraceCollector:
+    """Accumulates :class:`TraceRecord` rows.
+
+    Args:
+        enabled: master switch; a disabled collector drops everything.
+        categories: if given, only these categories (or prefixes ending
+            in ``*``) are kept.
+        limit: optional cap on stored records (oldest kept).
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        categories: Iterable[str] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self._exact: set[str] = set()
+        self._prefixes: list[str] = []
+        if categories is not None:
+            for category in categories:
+                if category.endswith("*"):
+                    self._prefixes.append(category[:-1])
+                else:
+                    self._exact.add(category)
+        self._limit = limit
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def wants(self, category: str) -> bool:
+        """True if a record with this category would be stored."""
+        if not self.enabled:
+            return False
+        if self._limit is not None and len(self._records) >= self._limit:
+            return False
+        if not self._exact and not self._prefixes:
+            return True
+        if category in self._exact:
+            return True
+        return any(category.startswith(prefix) for prefix in self._prefixes)
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Store one record if the filter admits it."""
+        if self.wants(category):
+            self._records.append(TraceRecord(time=time, category=category, fields=fields))
+
+    def records(self, category: str | None = None) -> list[TraceRecord]:
+        """Stored records, optionally filtered to one exact category."""
+        if category is None:
+            return list(self._records)
+        return [record for record in self._records if record.category == category]
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self._records.clear()

@@ -1,0 +1,174 @@
+"""Per-node protocol stack assembly.
+
+A :class:`NodeStack` wires one node's buffer policy into a MAC
+substrate, forwards and delivers packets along the routing tables,
+feeds overheard buffer-state bits to the backpressure gate, and keeps
+the per-flow / per-virtual-link counters that both the result
+collection and the GMP measurement layer read.
+
+The stack is protocol-agnostic: plain 802.11, 2PP, and GMP node
+stacks differ only in the :class:`~repro.buffers.queues.BufferPolicy`
+instance (and in whether a protocol observer is attached).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.buffers.queues import BufferPolicy, PerDestinationBuffer
+from repro.errors import ProtocolError
+from repro.flows.packet import Packet
+from repro.mac.base import MacLayer, NodeServices
+from repro.sim.kernel import Simulator
+from repro.topology.network import Link
+
+
+class StackObserver(Protocol):
+    """Hook points a rate-adaptation protocol can attach to a stack."""
+
+    def on_forward(self, node_id: int, packet: Packet, next_hop: int) -> None:
+        """``node_id`` handed ``packet`` to the MAC toward ``next_hop``."""
+
+    def on_receive(self, node_id: int, packet: Packet, from_node: int) -> None:
+        """``node_id`` received ``packet`` from upstream ``from_node``
+        (delivered or queued for forwarding)."""
+
+
+class NodeStack:
+    """One node's data plane.
+
+    Args:
+        sim: simulation kernel.
+        node_id: this node.
+        buffer_policy: queueing policy instance owned by this node.
+        mac: the shared MAC substrate (already constructed; the caller
+            must attach this stack via :meth:`attach`).
+        observer: optional protocol hooks.
+        stale_retry: when every queued packet is gated, retry after
+            this many seconds even without an overheard state change
+            (matches the gate's stale-timeout escape hatch).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        buffer_policy: BufferPolicy,
+        mac: MacLayer,
+        *,
+        observer: StackObserver | None = None,
+        stale_retry: float = 0.1,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.buffer = buffer_policy
+        self.mac = mac
+        self.observer = observer
+        self._retry_timer = sim.timer(
+            self._on_retry, tag=f"stack.retry.{node_id}"
+        )
+        self._stale_retry = stale_retry
+
+        # Cumulative counters (monotone; consumers take deltas).
+        self.delivered: dict[int, int] = {}  # flow_id -> packets sunk here
+        self.delay_sum: dict[int, float] = {}  # flow_id -> summed e2e delay
+        self.arrivals: dict[tuple[int, int], int] = {}  # (upstream, dest) -> count
+        self.forwards: dict[tuple[int, int], int] = {}  # (next_hop, dest) -> count
+        self.mac_drops = 0
+
+    # --- wiring ---------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Register this stack's services with the MAC."""
+        self.mac.attach_node(self.node_id, self.services())
+
+    def services(self) -> NodeServices:
+        return NodeServices(
+            dequeue=self._dequeue,
+            on_data_received=self._on_data_received,
+            on_overhear=self._on_overhear,
+            make_piggyback=self.buffer.piggyback_states,
+            on_packet_dropped=self._on_packet_dropped,
+            eligible_links=self._eligible_links,
+            dequeue_for=self._dequeue_for,
+        )
+
+    # --- local traffic entry point --------------------------------------------------
+
+    def admit_local(self, packet: Packet) -> bool:
+        """Offer a locally generated packet (traffic-source callback)."""
+        if packet.source != self.node_id:
+            raise ProtocolError(
+                f"node {self.node_id} got local packet sourced at {packet.source}"
+            )
+        if isinstance(self.buffer, PerDestinationBuffer):
+            accepted = self.buffer.admit_local_at(packet, self.sim.now)
+        else:
+            accepted = self.buffer.admit_local(packet)
+        if accepted:
+            self.mac.notify_backlog(self.node_id)
+        return accepted
+
+    # --- MAC-facing callbacks ------------------------------------------------------
+
+    def _dequeue(self) -> tuple[Packet, int] | None:
+        item = self.buffer.dequeue(self.sim.now)
+        if item is None:
+            if self.buffer.has_pending():
+                self._retry_timer.start(self._stale_retry)
+            return None
+        packet, next_hop = item
+        self.forwards[(next_hop, packet.destination)] = (
+            self.forwards.get((next_hop, packet.destination), 0) + 1
+        )
+        if self.observer is not None:
+            self.observer.on_forward(self.node_id, packet, next_hop)
+        return item
+
+    def _dequeue_for(self, next_hop: int) -> Packet | None:
+        packet = self.buffer.dequeue_for(next_hop, self.sim.now)
+        if packet is None:
+            return None
+        self.forwards[(next_hop, packet.destination)] = (
+            self.forwards.get((next_hop, packet.destination), 0) + 1
+        )
+        if self.observer is not None:
+            self.observer.on_forward(self.node_id, packet, next_hop)
+        return packet
+
+    def _eligible_links(self) -> dict[Link, int]:
+        return self.buffer.eligible_links(self.sim.now)
+
+    def _on_data_received(self, packet: Packet, from_node: int) -> None:
+        self.arrivals[(from_node, packet.destination)] = (
+            self.arrivals.get((from_node, packet.destination), 0) + 1
+        )
+        if self.observer is not None:
+            self.observer.on_receive(self.node_id, packet, from_node)
+        if packet.destination == self.node_id:
+            packet.delivered_at = self.sim.now
+            self.delivered[packet.flow_id] = self.delivered.get(packet.flow_id, 0) + 1
+            self.delay_sum[packet.flow_id] = (
+                self.delay_sum.get(packet.flow_id, 0.0) + packet.delay
+            )
+            return
+        if isinstance(self.buffer, PerDestinationBuffer):
+            self.buffer.admit_forwarded_at(packet, self.sim.now)
+        else:
+            self.buffer.admit_forwarded(packet)
+        self.mac.notify_backlog(self.node_id)
+
+    def _on_overhear(self, sender: int, states: dict[int, bool]) -> None:
+        gate = getattr(self.buffer, "gate", None)
+        if gate is not None and states:
+            gate.update(sender, states, self.sim.now)
+            # An overheard release may have unblocked a queue head.
+            self.mac.notify_backlog(self.node_id)
+
+    def _on_packet_dropped(self, packet: Packet, next_hop: int) -> None:
+        self.mac_drops += 1
+
+    def _on_retry(self) -> None:
+        self.mac.notify_backlog(self.node_id)
+        if self.buffer.has_pending():
+            self._retry_timer.start(self._stale_retry)

@@ -1,0 +1,163 @@
+"""Reusable topology generators.
+
+The paper's evaluation figures live in :mod:`repro.scenarios.figures`;
+the builders here cover generic shapes used by examples, tests, and
+random-workload benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.network import (
+    DEFAULT_CS_RANGE,
+    DEFAULT_TX_RANGE,
+    Topology,
+)
+
+
+def chain_topology(
+    num_nodes: int,
+    spacing: float = 200.0,
+    *,
+    tx_range: float = DEFAULT_TX_RANGE,
+    cs_range: float = DEFAULT_CS_RANGE,
+) -> Topology:
+    """Nodes 0..n-1 on a straight line, ``spacing`` meters apart.
+
+    With the default ranges, adjacent nodes are linked and any two
+    transmitters within two hops sense each other — the classic chain
+    used by the paper's Figure 3.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"need at least one node, got {num_nodes}")
+    if spacing <= 0 or spacing > tx_range:
+        raise TopologyError(
+            f"spacing {spacing} must be in (0, tx_range={tx_range}] for a "
+            "connected chain"
+        )
+    topology = Topology(tx_range=tx_range, cs_range=cs_range)
+    topology.add_nodes((index * spacing, 0.0) for index in range(num_nodes))
+    return topology
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    spacing: float = 200.0,
+    *,
+    tx_range: float = DEFAULT_TX_RANGE,
+    cs_range: float = DEFAULT_CS_RANGE,
+) -> Topology:
+    """A rows×cols lattice with ``spacing`` meters between neighbors.
+
+    Node ids are assigned row-major: node ``r * cols + c`` sits at
+    ``(c * spacing, r * spacing)``.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if spacing <= 0 or spacing > tx_range:
+        raise TopologyError(
+            f"spacing {spacing} must be in (0, tx_range={tx_range}] for a "
+            "connected grid"
+        )
+    topology = Topology(tx_range=tx_range, cs_range=cs_range)
+    topology.add_nodes(
+        (col * spacing, row * spacing) for row in range(rows) for col in range(cols)
+    )
+    return topology
+
+
+def parallel_chains_topology(
+    num_chains: int,
+    chain_length: int,
+    *,
+    node_spacing: float = 200.0,
+    chain_spacing: float = 350.0,
+    tx_range: float = DEFAULT_TX_RANGE,
+    cs_range: float = DEFAULT_CS_RANGE,
+) -> Topology:
+    """Several vertical chains side by side.
+
+    With the defaults, nodes within one chain are linked, chains do not
+    link to each other, but adjacent chains' links mutually contend —
+    the structure behind the paper's Figure 4 (see
+    :func:`repro.scenarios.figures.figure4`).
+
+    Node ids are chain-major: chain ``k`` owns ids
+    ``k * chain_length .. (k + 1) * chain_length - 1`` ordered top to
+    bottom.
+    """
+    if num_chains < 1 or chain_length < 1:
+        raise TopologyError(
+            f"need positive dimensions, got {num_chains} chains of {chain_length}"
+        )
+    if node_spacing <= 0 or node_spacing > tx_range:
+        raise TopologyError(
+            f"node_spacing {node_spacing} must be in (0, tx_range={tx_range}]"
+        )
+    if chain_spacing <= tx_range:
+        raise TopologyError(
+            f"chain_spacing {chain_spacing} must exceed tx_range {tx_range} "
+            "to keep chains unlinked"
+        )
+    topology = Topology(tx_range=tx_range, cs_range=cs_range)
+    topology.add_nodes(
+        (chain * chain_spacing, position * node_spacing)
+        for chain in range(num_chains)
+        for position in range(chain_length)
+    )
+    return topology
+
+
+def random_topology(
+    num_nodes: int,
+    *,
+    width: float = 800.0,
+    height: float = 800.0,
+    seed: int = 0,
+    tx_range: float = DEFAULT_TX_RANGE,
+    cs_range: float = DEFAULT_CS_RANGE,
+    require_connected: bool = True,
+    max_attempts: int = 200,
+) -> Topology:
+    """Uniformly random node placement in a width×height rectangle.
+
+    When ``require_connected`` is set (default) placements are redrawn
+    until the derived connectivity graph is connected.
+
+    Raises:
+        TopologyError: if no connected placement is found within
+            ``max_attempts`` draws.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"need at least one node, got {num_nodes}")
+    rng = np.random.default_rng(seed)
+    for _attempt in range(max_attempts):
+        topology = Topology(tx_range=tx_range, cs_range=cs_range)
+        xs = rng.uniform(0.0, width, size=num_nodes)
+        ys = rng.uniform(0.0, height, size=num_nodes)
+        topology.add_nodes(zip(xs.tolist(), ys.tolist()))
+        if not require_connected or _is_connected(topology):
+            return topology
+    raise TopologyError(
+        f"no connected placement of {num_nodes} nodes in "
+        f"{width}x{height} after {max_attempts} attempts; "
+        "increase the area density or tx_range"
+    )
+
+
+def _is_connected(topology: Topology) -> bool:
+    ids = topology.node_ids
+    if not ids:
+        return True
+    seen = {ids[0]}
+    frontier = [ids[0]]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in topology.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(ids)

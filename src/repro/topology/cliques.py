@@ -1,0 +1,94 @@
+"""Maximal contention cliques.
+
+"A set of mutually contending wireless links forms a contention
+clique.  A proper clique is a clique that is not contained by a larger
+clique." (paper §3.3).  Whenever the paper — and this library — says
+*clique*, a maximal clique of the contention graph is meant.
+
+Cliques are enumerated with Bron–Kerbosch with pivoting (implemented
+here rather than via networkx so the substrate is self-contained; the
+test-suite cross-validates against ``networkx.find_cliques``).
+
+Each clique receives the paper's system-wide identifier: the smallest
+node id appearing in the clique plus a sequence number (paper §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.contention import ContentionGraph
+from repro.topology.network import Link
+
+
+@dataclass(frozen=True)
+class Clique:
+    """A maximal set of mutually contending links.
+
+    Attributes:
+        clique_id: ``(smallest node id in the clique, sequence number)``.
+        links: canonical undirected links, as a frozenset.
+    """
+
+    clique_id: tuple[int, int]
+    links: frozenset[Link]
+
+    def __contains__(self, a_link: Link) -> bool:
+        i, j = a_link
+        canon = (i, j) if i <= j else (j, i)
+        return canon in self.links
+
+    def sorted_links(self) -> list[Link]:
+        """Member links in deterministic order."""
+        return sorted(self.links)
+
+    def nodes(self) -> frozenset[int]:
+        """All node ids touched by member links."""
+        return frozenset(node for a_link in self.links for node in a_link)
+
+
+def _bron_kerbosch(
+    adjacency: dict[Link, frozenset[Link]],
+    r: set[Link],
+    p: set[Link],
+    x: set[Link],
+    out: list[frozenset[Link]],
+) -> None:
+    if not p and not x:
+        out.append(frozenset(r))
+        return
+    pivot = max(p | x, key=lambda v: (len(adjacency[v] & p), v))
+    for vertex in sorted(p - adjacency[pivot]):
+        neighbors = adjacency[vertex]
+        _bron_kerbosch(adjacency, r | {vertex}, p & neighbors, x & neighbors, out)
+        p.remove(vertex)
+        x.add(vertex)
+
+
+def maximal_cliques(graph: ContentionGraph) -> list[Clique]:
+    """All proper (maximal) contention cliques of ``graph``.
+
+    Isolated links (no contenders) form singleton cliques, matching
+    the definition: a lone link still shares the channel with itself.
+
+    Results are deterministic: cliques are sorted by their link sets
+    and numbered in that order.
+    """
+    adjacency = {a_link: graph.contenders(a_link) for a_link in graph.links}
+    raw: list[frozenset[Link]] = []
+    _bron_kerbosch(adjacency, set(), set(adjacency), set(), raw)
+    raw.sort(key=lambda members: sorted(members))
+
+    sequence_by_owner: dict[int, int] = {}
+    cliques: list[Clique] = []
+    for members in raw:
+        owner = min(node for a_link in members for node in a_link)
+        sequence = sequence_by_owner.get(owner, 0)
+        sequence_by_owner[owner] = sequence + 1
+        cliques.append(Clique(clique_id=(owner, sequence), links=members))
+    return cliques
+
+
+def cliques_of_link(cliques: list[Clique], a_link: Link) -> list[Clique]:
+    """The subset of ``cliques`` containing ``a_link``."""
+    return [clique for clique in cliques if a_link in clique]

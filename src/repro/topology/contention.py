@@ -1,0 +1,93 @@
+"""Link contention relation and contention graph.
+
+Two wireless links *contend* if they cannot carry successful
+transmissions simultaneously (paper §2.1).  Under the RTS/CTS protocol
+interference model this holds exactly when the links share a node or
+some endpoint of one link lies within interference range of some
+endpoint of the other (the DATA or the CTS/ACK of one exchange would
+corrupt the other).
+
+The relation is direction-insensitive: ``(i, j)`` contends with
+``(u, v)`` iff ``(j, i)`` does.  Contention graphs are therefore built
+over *undirected* link representatives ``(min, max)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TopologyError
+from repro.topology.network import Link, Topology
+
+
+def _canonical(a_link: Link) -> Link:
+    i, j = a_link
+    return (i, j) if i <= j else (j, i)
+
+
+def links_contend(topology: Topology, first: Link, second: Link) -> bool:
+    """True if the two wireless links cannot be active simultaneously.
+
+    A link never contends with itself (or its own reverse).
+    """
+    a = _canonical(first)
+    b = _canonical(second)
+    if a == b:
+        return False
+    if set(a) & set(b):
+        return True
+    return any(topology.interferes(x, y) for x in a for y in b)
+
+
+class ContentionGraph:
+    """Adjacency structure over undirected wireless links.
+
+    Vertices are canonical ``(min, max)`` link pairs; an edge joins two
+    links that contend.  Built once per scenario and shared by the
+    clique enumeration, the fluid MAC, and GMP's bandwidth-saturated
+    condition.
+    """
+
+    def __init__(self, topology: Topology, links: Iterable[Link] | None = None) -> None:
+        self.topology = topology
+        if links is None:
+            vertices = list(topology.undirected_links())
+        else:
+            vertices = sorted({_canonical(a_link) for a_link in links})
+            for a_link in vertices:
+                topology.validate_link(a_link)
+        self._vertices: list[Link] = vertices
+        self._adjacency: dict[Link, frozenset[Link]] = {}
+        for a in vertices:
+            contenders = {
+                b for b in vertices if b != a and links_contend(topology, a, b)
+            }
+            self._adjacency[a] = frozenset(contenders)
+
+    @property
+    def links(self) -> list[Link]:
+        """All vertices (canonical undirected links), sorted."""
+        return list(self._vertices)
+
+    def canonical(self, a_link: Link) -> Link:
+        """Canonical representative of ``a_link``.
+
+        Raises:
+            TopologyError: if the link is not part of this graph.
+        """
+        canon = _canonical(a_link)
+        if canon not in self._adjacency:
+            raise TopologyError(f"link {a_link} not in contention graph")
+        return canon
+
+    def contenders(self, a_link: Link) -> frozenset[Link]:
+        """Links that contend with ``a_link`` (canonical forms)."""
+        return self._adjacency[self.canonical(a_link)]
+
+    def degree(self, a_link: Link) -> int:
+        """Number of links contending with ``a_link``."""
+        return len(self.contenders(a_link))
+
+    def are_adjacent(self, first: Link, second: Link) -> bool:
+        """True if the two links contend (graph edge present)."""
+        return self.canonical(second) in self.contenders(first)

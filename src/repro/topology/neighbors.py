@@ -1,0 +1,35 @@
+"""One- and two-hop neighborhood queries.
+
+GMP's dissemination step (paper §6.2) requires every node to know the
+topology of its two-hop neighborhood after deployment; these helpers
+compute the corresponding sets.
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import Topology
+
+
+def one_hop_neighbors(topology: Topology, node_id: int) -> frozenset[int]:
+    """Nodes exactly one hop from ``node_id``."""
+    return topology.neighbors(node_id)
+
+
+def two_hop_neighbors(topology: Topology, node_id: int) -> frozenset[int]:
+    """Nodes exactly two hops from ``node_id``.
+
+    A node is a *two-hop* neighbor if it is reachable through some
+    one-hop neighbor but is neither ``node_id`` itself nor one of its
+    one-hop neighbors.
+    """
+    direct = topology.neighbors(node_id)
+    reachable: set[int] = set()
+    for middle in direct:
+        reachable.update(topology.neighbors(middle))
+    reachable.discard(node_id)
+    return frozenset(reachable - direct)
+
+
+def within_two_hops(topology: Topology, node_id: int) -> frozenset[int]:
+    """Union of the one- and two-hop neighborhoods."""
+    return one_hop_neighbors(topology, node_id) | two_hop_neighbors(topology, node_id)

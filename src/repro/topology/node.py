@@ -1,0 +1,28 @@
+"""Node identity and placement."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Node:
+    """A stationary wireless node.
+
+    Attributes:
+        node_id: unique non-negative integer identifier.
+        x: east-west coordinate in meters.
+        y: north-south coordinate in meters.
+    """
+
+    node_id: int
+    x: float
+    y: float
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __str__(self) -> str:
+        return f"n{self.node_id}@({self.x:g},{self.y:g})"

@@ -1,0 +1,242 @@
+"""Unit and property tests for the analysis toolkit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import convergence_time, oscillation_amplitude
+from repro.analysis.fairness import (
+    equality_fairness_index,
+    jain_index,
+    maxmin_fairness_index,
+    normalized_rates,
+)
+from repro.analysis.maxmin_reference import weighted_maxmin_rates
+from repro.analysis.report import format_table
+from repro.analysis.throughput import effective_network_throughput
+from repro.errors import AnalysisError
+from repro.flows.flow import Flow, FlowSet
+from repro.routing.link_state import link_state_routes
+from repro.topology.builders import chain_topology
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+
+
+class TestFairnessIndices:
+    def test_equal_rates_give_one(self):
+        assert maxmin_fairness_index([5.0, 5.0, 5.0]) == 1.0
+        assert equality_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_paper_table3_values(self):
+        rates = [80.63, 220.07, 174.09]  # 802.11 column
+        assert maxmin_fairness_index(rates) == pytest.approx(0.366, abs=0.001)
+        assert equality_fairness_index(rates) == pytest.approx(0.882, abs=0.001)
+
+    def test_jain_is_equality(self):
+        assert jain_index is equality_fairness_index
+
+    def test_zero_rates_defined(self):
+        assert maxmin_fairness_index([0.0, 0.0]) == 1.0
+        assert equality_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            maxmin_fairness_index([])
+        with pytest.raises(AnalysisError):
+            equality_fairness_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            maxmin_fairness_index([-1.0, 2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=20
+        )
+    )
+    def test_indices_bounded(self, rates):
+        assert 0.0 <= maxmin_fairness_index(rates) <= 1.0
+        assert 0.0 < equality_fairness_index(rates) <= 1.0 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        count=st.integers(min_value=1, max_value=10),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_indices_scale_invariant(self, rate, count, scale):
+        rates = [rate * (1 + index) for index in range(count)]
+        scaled = [value * scale for value in rates]
+        assert maxmin_fairness_index(rates) == pytest.approx(
+            maxmin_fairness_index(scaled)
+        )
+        assert equality_fairness_index(rates) == pytest.approx(
+            equality_fairness_index(scaled)
+        )
+
+    def test_normalized_rates(self):
+        flows = FlowSet(
+            [
+                Flow(flow_id=1, source=0, destination=1, weight=2.0),
+                Flow(flow_id=2, source=1, destination=2, weight=0.5),
+            ]
+        )
+        result = normalized_rates({1: 100.0, 2: 100.0}, flows)
+        assert result == {1: 50.0, 2: 200.0}
+
+
+def chain_setup(num_nodes=4):
+    topology = chain_topology(num_nodes, spacing=200.0)
+    routes = link_state_routes(topology)
+    cliques = maximal_cliques(ContentionGraph(topology))
+    return topology, routes, cliques
+
+
+class TestMaxminReference:
+    def test_fig3_structure(self):
+        """Single clique chain: rates weighted by hop count."""
+        _, routes, cliques = chain_setup(4)
+        flows = FlowSet(
+            [
+                Flow(flow_id=1, source=0, destination=3),
+                Flow(flow_id=2, source=1, destination=3),
+                Flow(flow_id=3, source=2, destination=3),
+            ]
+        )
+        solution = weighted_maxmin_rates(flows, routes, cliques, capacity=600.0)
+        # 3r + 2r + r = 600 -> r = 100 each.
+        for flow_id in (1, 2, 3):
+            assert solution.rates[flow_id] == pytest.approx(100.0)
+            assert solution.bottlenecks[flow_id] is not None
+        assert solution.clique_usage[cliques[0].clique_id] == pytest.approx(600.0)
+
+    def test_desired_rate_caps(self):
+        _, routes, cliques = chain_setup(2)
+        flows = FlowSet(
+            [Flow(flow_id=1, source=0, destination=1, desired_rate=50.0)]
+        )
+        solution = weighted_maxmin_rates(flows, routes, cliques, capacity=600.0)
+        assert solution.rates[1] == pytest.approx(50.0)
+        assert solution.bottlenecks[1] is None  # demand-limited
+
+    def test_weights_shift_allocation(self):
+        _, routes, cliques = chain_setup(3)
+        flows = FlowSet(
+            [
+                Flow(flow_id=1, source=0, destination=1, weight=1.0),
+                Flow(flow_id=2, source=1, destination=2, weight=3.0),
+            ]
+        )
+        solution = weighted_maxmin_rates(flows, routes, cliques, capacity=400.0)
+        assert solution.rates[2] == pytest.approx(3 * solution.rates[1])
+        assert solution.normalized[1] == pytest.approx(solution.normalized[2])
+
+    def test_clique_capacity_overrides(self):
+        _, routes, cliques = chain_setup(2)
+        flows = FlowSet([Flow(flow_id=1, source=0, destination=1)])
+        clique_id = cliques[0].clique_id
+        solution = weighted_maxmin_rates(
+            flows, routes, cliques, capacity=600.0, clique_capacities={clique_id: 100.0}
+        )
+        assert solution.rates[1] == pytest.approx(100.0)
+
+    def test_empty_flows_rejected(self):
+        _, routes, cliques = chain_setup(2)
+        with pytest.raises(AnalysisError):
+            weighted_maxmin_rates(FlowSet(), routes, cliques, capacity=10.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=5.0), min_size=2, max_size=4
+        ),
+        capacity=st.floats(min_value=50.0, max_value=2000.0),
+    )
+    def test_maxmin_feasibility_and_optimality(self, weights, capacity):
+        """Allocations are always feasible, demand-capped, and maxmin:
+        every flow is blocked by demand or by a tight clique."""
+        topology = chain_topology(len(weights) + 1, spacing=200.0)
+        routes = link_state_routes(topology)
+        cliques = maximal_cliques(ContentionGraph(topology))
+        flows = FlowSet(
+            [
+                Flow(
+                    flow_id=index + 1,
+                    source=index,
+                    destination=index + 1,
+                    weight=weight,
+                )
+                for index, weight in enumerate(weights)
+            ]
+        )
+        solution = weighted_maxmin_rates(flows, routes, cliques, capacity=capacity)
+        for clique in cliques:
+            assert solution.clique_usage[clique.clique_id] <= capacity * (1 + 1e-6)
+        for flow in flows:
+            rate = solution.rates[flow.flow_id]
+            assert rate <= flow.desired_rate + 1e-6
+            if rate < flow.desired_rate - 1e-6:
+                clique_id = solution.bottlenecks[flow.flow_id]
+                assert clique_id is not None
+                assert solution.clique_usage[clique_id] == pytest.approx(
+                    capacity, rel=1e-6
+                )
+
+
+class TestThroughputAndConvergence:
+    def test_effective_throughput(self):
+        topology = chain_topology(4)
+        routes = link_state_routes(topology)
+        flows = FlowSet(
+            [
+                Flow(flow_id=1, source=0, destination=3),
+                Flow(flow_id=2, source=2, destination=3),
+            ]
+        )
+        value = effective_network_throughput({1: 100.0, 2: 50.0}, flows, routes)
+        assert value == pytest.approx(100.0 * 3 + 50.0 * 1)
+
+    def test_effective_throughput_empty_rejected(self):
+        topology = chain_topology(2)
+        routes = link_state_routes(topology)
+        with pytest.raises(AnalysisError):
+            effective_network_throughput({}, FlowSet(), routes)
+
+    def test_convergence_time_found(self):
+        trajectory = [10, 50, 89, 98, 101, 99, 100]
+        assert convergence_time(trajectory, target=100.0, tolerance=0.1, hold=3) == 3
+
+    def test_convergence_time_none_when_unsettled(self):
+        trajectory = [10, 200, 10, 200]
+        assert convergence_time(trajectory, target=100.0) is None
+
+    def test_convergence_validation(self):
+        with pytest.raises(AnalysisError):
+            convergence_time([], 100.0)
+        with pytest.raises(AnalysisError):
+            convergence_time([1.0], 0.0)
+
+    def test_oscillation_amplitude(self):
+        trajectory = [0.0] * 10 + [90.0, 110.0, 90.0, 110.0]
+        assert oscillation_amplitude(trajectory, tail_fraction=0.25) == pytest.approx(
+            20.0 / 100.0, rel=0.2
+        )
+
+    def test_oscillation_constant_is_zero(self):
+        assert oscillation_amplitude([5.0, 5.0, 5.0]) == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["flow", "rate"], [["f1", 563.96], ["f2", 196.96]], title="Table 1"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "563.96" in text
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a"], [["x", "y"]])

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_runs_figure3(capsys):
+    code = main(
+        [
+            "figure3",
+            "--protocol",
+            "gmp",
+            "--substrate",
+            "fluid",
+            "--duration",
+            "5",
+            "--period",
+            "0.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "I_mm" in out
+    assert "final rate limits" in out
+
+
+def test_cli_runs_figure2_with_weights(capsys):
+    code = main(
+        [
+            "figure2",
+            "--protocol",
+            "802.11",
+            "--substrate",
+            "fluid",
+            "--duration",
+            "5",
+            "--weights",
+            "1,2,1,3",
+        ]
+    )
+    assert code == 0
+    assert "figure2" in capsys.readouterr().out
+
+
+def test_cli_bad_weights_reports_error(capsys):
+    code = main(
+        ["figure2", "--substrate", "fluid", "--duration", "5", "--weights", "1,2"]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["figure9"])
+
+
+def test_cli_traffic_models(capsys):
+    for traffic in ("poisson", "onoff"):
+        code = main(
+            [
+                "figure3",
+                "--protocol",
+                "802.11",
+                "--substrate",
+                "fluid",
+                "--duration",
+                "5",
+                "--traffic",
+                traffic,
+            ]
+        )
+        assert code == 0

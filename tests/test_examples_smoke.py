@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end (fast settings)."""
+
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+CASES = [
+    ("quickstart.py", ["--substrate", "fluid", "--duration", "5"]),
+    (
+        "protocol_comparison.py",
+        ["--substrate", "fluid", "--duration", "5"],
+    ),
+    ("mesh_gateway.py", ["--duration", "5"]),
+    (
+        "weighted_service_classes.py",
+        ["--substrate", "fluid", "--duration", "5"],
+    ),
+    ("random_network_study.py", ["--samples", "1", "--duration", "5"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[case[0] for case in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

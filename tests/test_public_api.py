@@ -1,0 +1,58 @@
+"""Public API surface tests: the documented entry points exist and the
+README quickstart runs as written (on the fluid substrate for speed)."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_pattern():
+    from repro import GmpConfig, run_scenario
+    from repro.scenarios import figure3
+
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=5.0,
+        seed=1,
+        gmp_config=GmpConfig(period=0.5),
+    )
+    table = result.summary_table()
+    assert "I_mm" in table
+    assert 0 <= result.i_mm <= 1
+
+
+def test_subpackage_docstrings_exist():
+    import repro.analysis
+    import repro.baselines
+    import repro.buffers
+    import repro.core
+    import repro.flows
+    import repro.mac
+    import repro.routing
+    import repro.scenarios
+    import repro.sim
+    import repro.topology
+
+    for module in (
+        repro,
+        repro.analysis,
+        repro.baselines,
+        repro.buffers,
+        repro.core,
+        repro.flows,
+        repro.mac,
+        repro.routing,
+        repro.scenarios,
+        repro.sim,
+        repro.topology,
+    ):
+        assert module.__doc__ and len(module.__doc__.strip()) > 20

@@ -1,0 +1,34 @@
+"""Runner traffic-model selection tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios.figures import figure3
+from repro.scenarios.runner import run_scenario
+
+
+def test_unknown_traffic_rejected():
+    with pytest.raises(ConfigError):
+        run_scenario(figure3(), traffic="vbr")
+
+
+@pytest.mark.parametrize("traffic", ["cbr", "poisson", "onoff"])
+def test_traffic_models_run_on_fluid(traffic):
+    result = run_scenario(
+        figure3(),
+        protocol="802.11",
+        substrate="fluid",
+        duration=8.0,
+        seed=2,
+        traffic=traffic,
+    )
+    assert sum(result.flow_rates.values()) > 0
+
+
+def test_poisson_and_cbr_differ():
+    kwargs = dict(
+        protocol="802.11", substrate="fluid", duration=8.0, seed=2
+    )
+    cbr = run_scenario(figure3(), traffic="cbr", **kwargs)
+    poisson = run_scenario(figure3(), traffic="poisson", **kwargs)
+    assert cbr.flow_rates != poisson.flow_rates

@@ -1,0 +1,142 @@
+"""Unit tests for the simulation kernel and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_run_advances_clock_to_until():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_call_later_fires_at_expected_time():
+    sim = Simulator()
+    seen = []
+    sim.call_later(2.5, lambda: seen.append(sim.now))
+    sim.run(until=5.0)
+    assert seen == [2.5]
+
+
+def test_call_at_in_past_raises():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run(until=2.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_are_dispatched():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.call_later(1.0, lambda: seen.append("second"))
+
+    sim.call_later(1.0, first)
+    sim.run(until=3.0)
+    assert seen == ["first", "second"]
+
+
+def test_run_without_until_drains_queue():
+    sim = Simulator()
+    sim.call_later(7.0, lambda: None)
+    end = sim.run()
+    assert end == 7.0
+
+
+def test_stop_halts_run_mid_way():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.call_later(2.0, lambda: seen.append(2))
+    sim.run(until=10.0)
+    assert seen == [1]
+    assert sim.now == 1.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0)
+
+    sim.call_later(1.0, nested)
+    sim.run(until=2.0)
+
+
+def test_max_events_guard_trips():
+    sim = Simulator()
+
+    def loop():
+        sim.call_later(0.0, loop)
+
+    sim.call_later(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0, max_events=100)
+
+
+def test_events_processed_counts_dispatches():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_later(1.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.events_processed == 5
+
+
+def test_timer_start_cancel_restart():
+    sim = Simulator()
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(5.0)
+    assert timer.pending
+    assert timer.expires_at == 5.0
+    timer.cancel()
+    assert not timer.pending
+    timer.start(2.0)
+    sim.run(until=10.0)
+    assert fired == [2.0]
+    assert not timer.pending
+
+
+def test_timer_restart_replaces_previous_expiry():
+    sim = Simulator()
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(5.0)
+    timer.start(1.0)
+    sim.run(until=10.0)
+    assert fired == [1.0]
+
+
+def test_periodic_every_fires_until_stopped():
+    sim = Simulator()
+    times = []
+    stop = sim.every(1.0, lambda: times.append(sim.now))
+    sim.call_later(3.5, stop)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_periodic_with_explicit_start():
+    sim = Simulator()
+    times = []
+    sim.every(2.0, lambda: times.append(sim.now), start_at=0.5)
+    sim.run(until=5.0)
+    assert times == [0.5, 2.5, 4.5]
+
+
+def test_periodic_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)

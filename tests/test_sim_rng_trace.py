@@ -1,0 +1,86 @@
+"""Unit tests for RNG streams and trace collection."""
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceCollector
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(seed=42)
+    assert registry.stream("mac.node1") is registry.stream("mac.node1")
+
+
+def test_streams_are_reproducible_across_registries():
+    first = RngRegistry(seed=7).stream("x").random(10)
+    second = RngRegistry(seed=7).stream("x").random(10)
+    assert list(first) == list(second)
+
+
+def test_different_seeds_differ():
+    first = RngRegistry(seed=1).stream("x").random(10)
+    second = RngRegistry(seed=2).stream("x").random(10)
+    assert list(first) != list(second)
+
+
+def test_different_names_differ():
+    registry = RngRegistry(seed=1)
+    first = registry.stream("a").random(10)
+    second = registry.stream("b").random(10)
+    assert list(first) != list(second)
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    plain = RngRegistry(seed=3)
+    baseline = plain.stream("mac").random(5).tolist()
+
+    mixed = RngRegistry(seed=3)
+    mixed.stream("other").random(100)  # extra consumer created first
+    assert mixed.stream("mac").random(5).tolist() == baseline
+
+
+def test_names_lists_created_streams():
+    registry = RngRegistry()
+    registry.stream("b")
+    registry.stream("a")
+    assert registry.names() == ["b", "a"]
+
+
+def test_trace_disabled_drops_records():
+    trace = TraceCollector(enabled=False)
+    trace.emit(1.0, "mac.tx", link=(0, 1))
+    assert len(trace) == 0
+
+
+def test_trace_collects_and_filters_by_category():
+    trace = TraceCollector()
+    trace.emit(1.0, "mac.tx", n=1)
+    trace.emit(2.0, "gmp.adjust", n=2)
+    assert len(trace) == 2
+    assert [record.fields["n"] for record in trace.records("mac.tx")] == [1]
+
+
+def test_trace_category_whitelist_and_prefix():
+    trace = TraceCollector(categories=["gmp.adjust", "mac.*"])
+    trace.emit(1.0, "mac.tx")
+    trace.emit(1.0, "mac.backoff")
+    trace.emit(1.0, "gmp.adjust")
+    trace.emit(1.0, "buffer.full")
+    assert {record.category for record in trace.records()} == {
+        "mac.tx",
+        "mac.backoff",
+        "gmp.adjust",
+    }
+
+
+def test_trace_limit_caps_storage():
+    trace = TraceCollector(limit=3)
+    for index in range(10):
+        trace.emit(float(index), "x", i=index)
+    assert len(trace) == 3
+    assert [record.fields["i"] for record in trace.records()] == [0, 1, 2]
+
+
+def test_trace_clear():
+    trace = TraceCollector()
+    trace.emit(0.0, "x")
+    trace.clear()
+    assert len(trace) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for Topology and link helpers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.network import Topology, link, reverse
+from repro.topology.node import Node
+
+
+def test_node_distance():
+    a = Node(0, 0.0, 0.0)
+    b = Node(1, 3.0, 4.0)
+    assert a.distance_to(b) == pytest.approx(5.0)
+
+
+def test_link_helpers():
+    assert link(1, 2) == (1, 2)
+    assert reverse((1, 2)) == (2, 1)
+
+
+def test_add_node_and_lookup():
+    topology = Topology()
+    topology.add_node(0, 0.0, 0.0)
+    assert 0 in topology
+    assert topology.node(0).x == 0.0
+    with pytest.raises(TopologyError):
+        topology.node(99)
+
+
+def test_duplicate_node_id_raises():
+    topology = Topology()
+    topology.add_node(0, 0.0, 0.0)
+    with pytest.raises(TopologyError):
+        topology.add_node(0, 1.0, 1.0)
+
+
+def test_add_nodes_assigns_consecutive_ids():
+    topology = Topology()
+    topology.add_node(5, 0.0, 0.0)
+    created = topology.add_nodes([(100.0, 0.0), (200.0, 0.0)])
+    assert [node.node_id for node in created] == [6, 7]
+
+
+def test_links_derive_from_tx_range():
+    topology = Topology(tx_range=250.0)
+    topology.add_nodes([(0.0, 0.0), (200.0, 0.0), (500.0, 0.0)])
+    assert topology.has_link(0, 1)
+    assert not topology.has_link(0, 2)
+    assert topology.has_link(1, 2) is False  # 300 m apart
+    assert topology.neighbors(1) == frozenset({0})
+
+
+def test_link_exactly_at_range_boundary_exists():
+    topology = Topology(tx_range=250.0)
+    topology.add_nodes([(0.0, 0.0), (250.0, 0.0)])
+    assert topology.has_link(0, 1)
+
+
+def test_links_are_symmetric_and_sorted():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)])
+    directed = topology.links()
+    assert (0, 1) in directed and (1, 0) in directed
+    assert directed == sorted(directed)
+    assert topology.undirected_links() == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_validate_link_raises_for_missing_link():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (1000.0, 0.0)])
+    with pytest.raises(TopologyError):
+        topology.validate_link((0, 1))
+
+
+def test_sense_and_interfere_use_cs_range():
+    topology = Topology(tx_range=250.0, cs_range=550.0)
+    topology.add_nodes([(0.0, 0.0), (400.0, 0.0), (600.0, 0.0)])
+    assert not topology.decodes(0, 1)  # 400 > 250
+    assert topology.senses(0, 1)  # 400 <= 550
+    assert topology.interferes(0, 1)
+    assert not topology.senses(0, 2)  # 600 > 550
+    assert topology.sensing_nodes(0) == frozenset({1})
+
+
+def test_decode_implies_sense():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (100.0, 0.0)])
+    assert topology.decodes(0, 1)
+    assert topology.senses(0, 1)
+
+
+def test_node_never_senses_itself():
+    topology = Topology()
+    topology.add_node(0, 0.0, 0.0)
+    assert not topology.senses(0, 0)
+    assert not topology.decodes(0, 0)
+
+
+def test_cs_range_below_tx_range_rejected():
+    with pytest.raises(TopologyError):
+        Topology(tx_range=250.0, cs_range=100.0)
+
+
+def test_non_positive_tx_range_rejected():
+    with pytest.raises(TopologyError):
+        Topology(tx_range=0.0)
+
+
+def test_iteration_yields_nodes_in_id_order():
+    topology = Topology()
+    topology.add_node(2, 0.0, 0.0)
+    topology.add_node(1, 10.0, 0.0)
+    assert [node.node_id for node in topology] == [1, 2]
+
+
+def test_adding_node_invalidates_neighbor_cache():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (100.0, 0.0)])
+    assert topology.neighbors(0) == frozenset({1})
+    topology.add_node(2, 50.0, 0.0)
+    assert topology.neighbors(0) == frozenset({1, 2})

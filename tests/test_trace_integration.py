@@ -1,0 +1,40 @@
+"""Trace integration: the DCF emits filtered structured traces."""
+
+from repro.mac.dcf import DcfMac
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceCollector
+from repro.topology.network import Topology
+
+from helpers import SaturatedSender
+
+
+def test_channel_tx_traces_collected_when_enabled():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (200.0, 0.0)])
+    trace = TraceCollector(categories=["channel.tx"], limit=500)
+    sim = Simulator(seed=1, trace=trace)
+    mac = DcfMac(sim, topology)
+    sender = SaturatedSender(0, {1: 1})
+    sink = SaturatedSender(1, {})
+    mac.attach_node(0, sender.services())
+    mac.attach_node(1, sink.services())
+    mac.start()
+    sim.run(until=0.2)
+    records = trace.records("channel.tx")
+    assert records, "transmissions must be traced"
+    kinds = {record.fields["frame"].split()[0] for record in records}
+    assert {"rts", "cts", "data", "ack"} <= kinds
+
+
+def test_traces_disabled_by_default():
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (200.0, 0.0)])
+    sim = Simulator(seed=1)
+    mac = DcfMac(sim, topology)
+    sender = SaturatedSender(0, {1: 1})
+    sink = SaturatedSender(1, {})
+    mac.attach_node(0, sender.services())
+    mac.attach_node(1, sink.services())
+    mac.start()
+    sim.run(until=0.2)
+    assert len(sim.trace) == 0
