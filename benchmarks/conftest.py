@@ -14,11 +14,11 @@ import pathlib
 
 import pytest
 
-_TABLES_FILE = pathlib.Path(__file__).parent / "tables_output.txt"
-
 from repro.analysis.report import format_table
 from repro.core.config import GmpConfig
 from repro.scenarios.runner import run_scenario
+
+_TABLES_FILE = pathlib.Path(__file__).parent / "tables_output.txt"
 
 #: One protocol cycle in the paper is 4 s measurement + 4 s adjustment
 #: over a 400 s session (50 cycles).  Our cycles collapse adjustment

@@ -8,6 +8,11 @@ Examples::
     python -m repro figure3 --protocol gmp --substrate fluid
     python -m repro figure2 --protocol gmp --weights 1,2,1,3 --duration 200
     python -m repro figure4 --protocol 802.11 --substrate dcf
+    python -m repro figure3 --substrate fluid \
+        --faults "crash:1@20;recover:1@40" --rate-interval 1
+
+Fault specs (``--faults``) are semicolon-separated events; see
+:mod:`repro.faults.spec` for the grammar.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 
 from repro.core.config import GmpConfig
 from repro.errors import ReproError
+from repro.faults.spec import parse_fault_spec
 from repro.scenarios.figures import figure1, figure2, figure3, figure4
 from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
 
@@ -51,10 +57,40 @@ def main(argv: list[str] | None = None) -> int:
         default="1,1,1,1",
         help="figure2 flow weights, comma-separated (e.g. 1,2,1,3)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help='fault schedule, e.g. "crash:1@20;recover:1@40;ctrl:0.5@10-30"',
+    )
+    parser.add_argument(
+        "--rate-interval",
+        type=float,
+        default=None,
+        help="record per-flow rates over windows of this many seconds",
+    )
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="kernel watchdog: hard budget on dispatched events",
+    )
+    parser.add_argument(
+        "--stall-limit",
+        type=int,
+        default=1_000_000,
+        help="kernel watchdog: max events without simulated time advancing",
+    )
+    parser.add_argument(
+        "--wall-deadline",
+        type=float,
+        default=None,
+        help="kernel watchdog: real seconds the run may take",
+    )
     args = parser.parse_args(argv)
 
     try:
         scenario = _build_scenario(args)
+        faults = parse_fault_spec(args.faults) if args.faults else None
         result = run_scenario(
             scenario,
             protocol=args.protocol,
@@ -63,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             traffic=args.traffic,
             gmp_config=GmpConfig(period=args.period, beta=args.beta),
+            faults=faults,
+            rate_interval=args.rate_interval,
+            max_events=args.max_events,
+            stall_limit=args.stall_limit,
+            wall_deadline=args.wall_deadline,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -75,6 +116,9 @@ def main(argv: list[str] | None = None) -> int:
             for flow_id, limit in sorted(result.extras["rate_limits"].items())
         )
         print(f"final rate limits: {limits}")
+    if "faults" in result.extras:
+        for when, text in result.extras["faults"]:
+            print(f"fault @ t={when:.3f}s: {text}")
     return 0
 
 

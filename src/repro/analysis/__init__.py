@@ -1,6 +1,6 @@
 """Analysis toolkit: fairness indices, the centralized weighted-maxmin
-reference solver, effective throughput, convergence metrics, and text
-tables for the benchmark harness."""
+reference solver, effective throughput, convergence and resilience
+metrics, and text tables for the benchmark harness."""
 
 from repro.analysis.fairness import (
     equality_fairness_index,
@@ -12,6 +12,14 @@ from repro.analysis.maxmin_reference import MaxminSolution, weighted_maxmin_rate
 from repro.analysis.throughput import effective_network_throughput
 from repro.analysis.convergence import convergence_time, oscillation_amplitude
 from repro.analysis.report import format_table
+from repro.analysis.resilience import (
+    TransientMetrics,
+    evaluate_transient,
+    goodput_lost,
+    min_rate_dip,
+    reconvergence_time,
+    surviving_maxmin_reference,
+)
 
 __all__ = [
     "maxmin_fairness_index",
@@ -24,4 +32,10 @@ __all__ = [
     "convergence_time",
     "oscillation_amplitude",
     "format_table",
+    "TransientMetrics",
+    "evaluate_transient",
+    "goodput_lost",
+    "min_rate_dip",
+    "reconvergence_time",
+    "surviving_maxmin_reference",
 ]

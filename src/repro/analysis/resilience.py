@@ -1,0 +1,269 @@
+"""Transient-response metrics for fault-injection runs.
+
+Given the per-interval rate series a fault run records, these helpers
+quantify how the protocol rode out the fault:
+
+* :func:`reconvergence_time` — how long after the fault every flow's
+  rate settled within a tolerance band around a reference allocation
+  (and stayed there for a holding window);
+* :func:`goodput_lost` — packet-time area between the reference and
+  the achieved rates over a window;
+* :func:`min_rate_dip` — the worst instantaneous (per-interval) rate
+  any flow fell to during the transient;
+* :func:`surviving_maxmin_reference` — the maxmin allocation on the
+  *surviving* topology, i.e. what the rates should reconverge to while
+  crashed nodes are down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.maxmin_reference import weighted_maxmin_rates
+from repro.errors import AnalysisError
+from repro.flows.flow import Flow, FlowSet
+from repro.routing.link_state import link_state_routes
+from repro.topology.cliques import maximal_cliques
+from repro.topology.contention import ContentionGraph
+from repro.topology.network import Topology
+
+
+@dataclass(frozen=True)
+class TransientMetrics:
+    """Summary of one fault transient.
+
+    Attributes:
+        fault_time: when the fault hit.
+        reconverged_at: absolute time reconvergence was first achieved
+            (end of the first in-band sample), or None.
+        time_to_reconverge: ``reconverged_at - fault_time``, or None.
+        goodput_lost: packets of goodput lost versus the reference
+            between the fault and reconvergence (or the series end).
+        min_rate_dip: worst per-interval rate any referenced flow hit
+            after the fault.
+    """
+
+    fault_time: float
+    reconverged_at: float | None
+    time_to_reconverge: float | None
+    goodput_lost: float
+    min_rate_dip: float
+
+
+def _check_series(
+    interval_rates: dict[int, list[float]], interval: float
+) -> int:
+    if interval <= 0:
+        raise AnalysisError(f"interval must be positive: {interval}")
+    if not interval_rates:
+        raise AnalysisError("no rate series to analyze")
+    return min(len(series) for series in interval_rates.values())
+
+
+def reconvergence_time(
+    interval_rates: dict[int, list[float]],
+    interval: float,
+    *,
+    fault_time: float,
+    reference: dict[int, float],
+    epsilon: float = 0.1,
+    atol: float = 0.0,
+    hold: int = 3,
+) -> float | None:
+    """Seconds from the fault until every referenced flow's rate stays
+    within ``epsilon`` (relative) + ``atol`` (absolute) of its
+    reference for ``hold`` consecutive samples.
+
+    Sample ``j`` of each series covers ``[j*interval, (j+1)*interval)``.
+    Returns None when the series never settles.
+
+    Raises:
+        AnalysisError: on empty series, bad interval, or a referenced
+            flow with no series.
+    """
+    if hold < 1:
+        raise AnalysisError(f"hold must be >= 1: {hold}")
+    if epsilon < 0 or atol < 0:
+        raise AnalysisError("tolerances must be non-negative")
+    count = _check_series(interval_rates, interval)
+    missing = [flow_id for flow_id in reference if flow_id not in interval_rates]
+    if missing:
+        raise AnalysisError(f"no rate series for flows {missing}")
+
+    def in_band(index: int) -> bool:
+        for flow_id, target in reference.items():
+            rate = interval_rates[flow_id][index]
+            if abs(rate - target) > epsilon * target + atol:
+                return False
+        return True
+
+    first = max(0, math.ceil(fault_time / interval - 1e-9))
+    streak = 0
+    for index in range(first, count):
+        streak = streak + 1 if in_band(index) else 0
+        if streak >= hold:
+            settled_index = index - hold + 1
+            return (settled_index + 1) * interval - fault_time
+    return None
+
+
+def goodput_lost(
+    interval_rates: dict[int, list[float]],
+    interval: float,
+    *,
+    reference: dict[int, float],
+    start: float,
+    end: float,
+) -> float:
+    """Packets of goodput lost versus ``reference`` over ``[start, end)``.
+
+    Only shortfalls count: a flow transiently exceeding its reference
+    does not pay back another flow's loss.
+    """
+    if end < start:
+        raise AnalysisError(f"empty window [{start}, {end})")
+    count = _check_series(interval_rates, interval)
+    lost = 0.0
+    for flow_id, target in reference.items():
+        series = interval_rates.get(flow_id)
+        if series is None:
+            raise AnalysisError(f"no rate series for flow {flow_id}")
+        for index in range(count):
+            lo = index * interval
+            hi = lo + interval
+            overlap = min(hi, end) - max(lo, start)
+            if overlap <= 0:
+                continue
+            lost += max(0.0, target - series[index]) * overlap
+    return lost
+
+
+def min_rate_dip(
+    interval_rates: dict[int, list[float]],
+    interval: float,
+    *,
+    start: float,
+    end: float | None = None,
+    flow_ids: list[int] | None = None,
+) -> float:
+    """Worst per-interval rate any selected flow hit in the window."""
+    count = _check_series(interval_rates, interval)
+    selected = flow_ids if flow_ids is not None else sorted(interval_rates)
+    worst = math.inf
+    for flow_id in selected:
+        series = interval_rates.get(flow_id)
+        if series is None:
+            raise AnalysisError(f"no rate series for flow {flow_id}")
+        for index in range(count):
+            lo = index * interval
+            hi = lo + interval
+            if hi <= start or (end is not None and lo >= end):
+                continue
+            worst = min(worst, series[index])
+    if not math.isfinite(worst):
+        raise AnalysisError(f"no samples in window starting at {start}")
+    return worst
+
+
+def evaluate_transient(
+    result,
+    *,
+    fault_time: float,
+    reference: dict[int, float],
+    epsilon: float = 0.1,
+    atol: float = 0.0,
+    hold: int = 3,
+) -> TransientMetrics:
+    """All transient metrics for one fault-run :class:`RunResult`.
+
+    Raises:
+        AnalysisError: if the result carries no per-interval series
+            (run without ``rate_interval``).
+    """
+    interval = getattr(result, "rate_interval", None)
+    series = getattr(result, "interval_rates", None)
+    if not interval or not series:
+        raise AnalysisError(
+            "result has no per-interval rate series; run the scenario "
+            "with rate_interval set"
+        )
+    settle = reconvergence_time(
+        series,
+        interval,
+        fault_time=fault_time,
+        reference=reference,
+        epsilon=epsilon,
+        atol=atol,
+        hold=hold,
+    )
+    reconverged_at = None if settle is None else fault_time + settle
+    window_end = (
+        reconverged_at
+        if reconverged_at is not None
+        else min(len(s) for s in series.values()) * interval
+    )
+    lost = goodput_lost(
+        series, interval, reference=reference, start=fault_time, end=window_end
+    )
+    dip = min_rate_dip(
+        series,
+        interval,
+        start=fault_time,
+        end=window_end if window_end > fault_time else None,
+        flow_ids=sorted(reference),
+    )
+    return TransientMetrics(
+        fault_time=fault_time,
+        reconverged_at=reconverged_at,
+        time_to_reconverge=settle,
+        goodput_lost=lost,
+        min_rate_dip=dip,
+    )
+
+
+def surviving_maxmin_reference(
+    topology: Topology,
+    flows: FlowSet,
+    dead_nodes: set[int],
+    capacity: float,
+) -> dict[int, float]:
+    """Maxmin reference rates on the topology minus ``dead_nodes``.
+
+    Flows sourced at, destined to, or disconnected by the dead nodes
+    get a reference of 0.0; the rest are solved by progressive filling
+    over the surviving network's contention cliques.
+
+    Raises:
+        AnalysisError: if ``dead_nodes`` contains unknown nodes.
+    """
+    unknown = {node for node in dead_nodes if node not in topology}
+    if unknown:
+        raise AnalysisError(f"unknown nodes in dead set: {sorted(unknown)}")
+
+    survivor = Topology(tx_range=topology.tx_range, cs_range=topology.cs_range)
+    for node in topology:
+        if node.node_id not in dead_nodes:
+            survivor.add_node(node.node_id, node.x, node.y)
+
+    reference = {flow.flow_id: 0.0 for flow in flows}
+    if len(survivor) < 2:
+        return reference
+
+    routes = link_state_routes(survivor)
+    alive: list[Flow] = []
+    for flow in flows:
+        if flow.source in dead_nodes or flow.destination in dead_nodes:
+            continue
+        if not routes.table(flow.source).has_route(flow.destination):
+            continue  # partitioned away; it can deliver nothing
+        alive.append(flow)
+    if not alive:
+        return reference
+
+    cliques = maximal_cliques(ContentionGraph(survivor))
+    solution = weighted_maxmin_rates(
+        FlowSet(alive), routes, cliques, capacity
+    )
+    reference.update(solution.rates)
+    return reference

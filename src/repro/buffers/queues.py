@@ -33,7 +33,14 @@ class BufferPolicy(abc.ABC):
         self.node_id = node_id
         self.next_hop = next_hop
         self.drops = 0  # packets lost to admission (incl. overwrites)
+        self.drops_by_flow: dict[int, int] = {}  # same, keyed by flow
         self.overshoot = 0  # forwarded admissions beyond nominal capacity
+
+    def _count_drop(self, packet: Packet) -> None:
+        self.drops += 1
+        self.drops_by_flow[packet.flow_id] = (
+            self.drops_by_flow.get(packet.flow_id, 0) + 1
+        )
 
     # --- admission ---------------------------------------------------------
 
@@ -63,6 +70,17 @@ class BufferPolicy(abc.ABC):
     @abc.abstractmethod
     def backlog(self) -> int:
         """Total queued packets."""
+
+    # --- fault injection / audits ----------------------------------------------
+
+    @abc.abstractmethod
+    def queued_packets(self) -> list[Packet]:
+        """Every currently queued packet (for end-of-run audits)."""
+
+    @abc.abstractmethod
+    def drain(self, now: float) -> list[Packet]:
+        """Empty every queue and return the evicted packets (node
+        crash: buffered traffic is lost with the node's memory)."""
 
     # --- buffer-state piggyback (overridden by per-destination) --------------------
 
@@ -115,8 +133,7 @@ class SharedFifoBuffer(BufferPolicy):
         # In-flight arrivals cannot be refused; when full they
         # overwrite the packet at the tail of the queue (§7.2).
         if len(self._queue) >= self.capacity:
-            self._queue.pop()
-            self.drops += 1
+            self._count_drop(self._queue.pop())
         self._queue.append(packet)
         return True
 
@@ -143,6 +160,14 @@ class SharedFifoBuffer(BufferPolicy):
     def backlog(self) -> int:
         return len(self._queue)
 
+    def queued_packets(self) -> list[Packet]:
+        return list(self._queue)
+
+    def drain(self, now: float) -> list[Packet]:
+        lost = list(self._queue)
+        self._queue.clear()
+        return lost
+
 
 class PerFlowBuffer(BufferPolicy):
     """One bounded FIFO per flow, served round-robin (2PP's per-flow
@@ -162,19 +187,22 @@ class PerFlowBuffer(BufferPolicy):
         self._queues: dict[int, deque[Packet]] = {}
         self._last_flow: int | None = None
 
-    def _admit(self, packet: Packet) -> bool:
+    def _admit(self, packet: Packet, *, count_drop: bool) -> bool:
         queue = self._queues.setdefault(packet.flow_id, deque())
         if len(queue) >= self.per_flow_capacity:
-            self.drops += 1
+            if count_drop:
+                self._count_drop(packet)
             return False
         queue.append(packet)
         return True
 
     def admit_local(self, packet: Packet) -> bool:
-        return self._admit(packet)
+        # A refused local packet is backpressure, not loss: the source
+        # never generates it, so it must not enter the drop ledger.
+        return self._admit(packet, count_drop=False)
 
     def admit_forwarded(self, packet: Packet) -> bool:
-        return self._admit(packet)
+        return self._admit(packet, count_drop=True)
 
     def dequeue(self, now: float) -> tuple[Packet, int] | None:
         for flow_id in _rr_order(self._queues, self._last_flow):
@@ -203,6 +231,18 @@ class PerFlowBuffer(BufferPolicy):
 
     def backlog(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
+
+    def queued_packets(self) -> list[Packet]:
+        return [
+            packet
+            for flow_id in sorted(self._queues)
+            for packet in self._queues[flow_id]
+        ]
+
+    def drain(self, now: float) -> list[Packet]:
+        lost = self.queued_packets()
+        self._queues.clear()
+        return lost
 
 
 #: Piggyback key used by the shared-queue backpressure policy: the
@@ -296,6 +336,14 @@ class SharedBackpressureBuffer(BufferPolicy):
 
     def backlog(self) -> int:
         return len(self._queue)
+
+    def queued_packets(self) -> list[Packet]:
+        return list(self._queue)
+
+    def drain(self, now: float) -> list[Packet]:
+        lost = list(self._queue)
+        self._queue.clear()
+        return lost
 
     def piggyback_states(self) -> dict[int, bool]:
         return {SHARED_QUEUE_KEY: self.has_free(SHARED_QUEUE_KEY)}
@@ -448,6 +496,20 @@ class PerDestinationBuffer(BufferPolicy):
 
     def backlog(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
+
+    def queued_packets(self) -> list[Packet]:
+        return [
+            packet
+            for dest in sorted(self._queues)
+            for packet in self._queues[dest]
+        ]
+
+    def drain(self, now: float) -> list[Packet]:
+        lost = self.queued_packets()
+        for dest, queue in self._queues.items():
+            queue.clear()
+            self._update_meter(dest, now)
+        return lost
 
     def piggyback_states(self) -> dict[int, bool]:
         return {dest: self.has_free(dest) for dest in self._queues}

@@ -62,6 +62,12 @@ class GmpConfig:
             instantaneous control plane (default); 1 reproduces the
             paper's separate adjustment period (requests computed from
             one measurement period take effect a full period later).
+        neighbor_timeout: seconds without hearing any packet from a
+            node before the protocol treats that node's measurements as
+            stale: its virtual nodes fall back to the *unsaturated*
+            classification and its accumulated violation/link state is
+            purged.  ``None`` (default) disables the watchdog — correct
+            for fault-free runs, where a silent node is merely idle.
     """
 
     period: float = 4.0
@@ -76,6 +82,7 @@ class GmpConfig:
     removal_persistence: int | None = None
     violation_persistence: int = 2
     control_delay_periods: int = 0
+    neighbor_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -110,4 +117,8 @@ class GmpConfig:
         if self.control_delay_periods < 0:
             raise ConfigError(
                 f"control_delay_periods must be >= 0: {self.control_delay_periods}"
+            )
+        if self.neighbor_timeout is not None and self.neighbor_timeout <= 0:
+            raise ConfigError(
+                f"neighbor_timeout must be positive or None: {self.neighbor_timeout}"
             )

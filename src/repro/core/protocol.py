@@ -82,11 +82,14 @@ class _Observer:
         self._protocol._trackers[node_id].observe(
             (node_id, next_hop), packet.destination, packet
         )
+        self._protocol._note_activity(node_id)
 
     def on_receive(self, node_id: int, packet: Packet, from_node: int) -> None:
         self._protocol._trackers[node_id].observe(
             (from_node, node_id), packet.destination, packet
         )
+        # Receiving proves both endpoints of the hop are alive.
+        self._protocol._note_activity(node_id, from_node)
 
 
 class GmpProtocol:
@@ -138,10 +141,19 @@ class GmpProtocol:
         self._started = False
         self.last_busy_fractions: dict[int, float] = {}
 
+        # Fault tolerance: per-node liveness and control-plane loss.
+        self._last_heard: dict[int, float] = {}
+        self._known_down: set[int] = set()
+        self._control_drop_prob = 0.0
+        self._control_drop_until = float("-inf")
+        self._control_rng = None
+
         # Introspection / statistics.
         self.periods_completed = 0
         self.requests_issued: list[RateRequest] = []
         self.violations_found = 0
+        self.control_requests_dropped = 0
+        self.stale_overrides = 0  # (node, dest) saturations vetoed for staleness
 
     # --- wiring ------------------------------------------------------------------
 
@@ -181,10 +193,80 @@ class GmpProtocol:
             raise ProtocolError(f"flows without registered sources: {missing}")
         self._started = True
         period = self.config.period
+        self._last_heard = {node: self.sim.now for node in self.stacks}
         self.sim.every(period, self._on_boundary, start_at=period, tag="gmp.boundary")
         self.sim.every(
             period, self._on_midpoint, start_at=period / 2, tag="gmp.midpoint"
         )
+
+    # --- fault tolerance ----------------------------------------------------------
+
+    def _note_activity(self, *nodes: int) -> None:
+        now = self.sim.now
+        for node in nodes:
+            if node not in self._known_down:
+                self._last_heard[node] = now
+
+    def on_node_down(self, node: int) -> None:
+        """Explicit crash notification (fault injector): immediately
+        treat the node's measurements as stale rather than waiting for
+        ``neighbor_timeout`` to expire."""
+        if node not in self.stacks:
+            raise ProtocolError(f"unknown node {node}")
+        self._known_down.add(node)
+        self._purge_node_state(node)
+
+    def on_node_up(self, node: int) -> None:
+        """The node recovered; trust its measurements again."""
+        if node not in self.stacks:
+            raise ProtocolError(f"unknown node {node}")
+        self._known_down.discard(node)
+        self._last_heard[node] = self.sim.now
+
+    def set_control_loss(self, drop_prob: float, until: float) -> None:
+        """Drop each computed rate-adjustment request with probability
+        ``drop_prob`` while ``sim.now < until`` (lossy control plane).
+
+        Raises:
+            ProtocolError: if ``drop_prob`` is outside [0, 1].
+        """
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ProtocolError(f"drop probability must be in [0, 1]: {drop_prob}")
+        self._control_drop_prob = drop_prob
+        self._control_drop_until = until
+        if self._control_rng is None:
+            self._control_rng = self.sim.rng.stream("gmp.control")
+
+    def stale_nodes(self) -> set[int]:
+        """Nodes whose measurements the protocol currently distrusts:
+        explicitly reported down, or silent past ``neighbor_timeout``."""
+        stale = set(self._known_down)
+        timeout = self.config.neighbor_timeout
+        if timeout is not None:
+            now = self.sim.now
+            for node, heard in self._last_heard.items():
+                if now - heard > timeout:
+                    stale.add(node)
+        return stale
+
+    def _purge_node_state(self, node: int) -> None:
+        """Forget accumulated per-link state touching ``node``: a
+        crashed node's history must not feed future decisions."""
+        for a_link in [
+            a_link for a_link in self._violation_streak if node in a_link
+        ]:
+            del self._violation_streak[a_link]
+        for a_link in [
+            a_link for a_link in self._last_link_state if node in a_link
+        ]:
+            del self._last_link_state[a_link]
+        self._trackers[node] = MuTracker()
+
+    def _control_request_lost(self) -> bool:
+        if self._control_drop_prob <= 0.0 or self.sim.now >= self._control_drop_until:
+            return False
+        assert self._control_rng is not None
+        return float(self._control_rng.random()) < self._control_drop_prob
 
     # --- mid-period: source rate measurement ------------------------------------------
 
@@ -212,6 +294,23 @@ class GmpProtocol:
             state.mu = state.flow.normalized(state.rate)
 
         saturated = self._measure_buffer_saturation(now)
+        # Graceful degradation: a node nothing has been heard from
+        # (crashed, or silent past neighbor_timeout) contributes no
+        # saturation claims — its virtual nodes fall back to the
+        # *unsaturated* classification instead of freezing the last
+        # pre-failure measurement into every future decision.
+        stale = self.stale_nodes()
+        if stale:
+            for key, value in saturated.items():
+                if value and key[0] in stale:
+                    saturated[key] = False
+                    self.stale_overrides += 1
+            for a_link in [
+                a_link
+                for a_link in self._violation_streak
+                if a_link[0] in stale or a_link[1] in stale
+            ]:
+                del self._violation_streak[a_link]
         vlink_rates = self._measure_vlink_rates(period)
         occupancy = self._measure_occupancy(period)
         self.last_busy_fractions = self._measure_busy_fractions(period)
@@ -585,6 +684,13 @@ class GmpProtocol:
                 limit = None
 
             chosen = aggregate_requests(requests.get(flow_id, []))
+            if chosen is not None and self._control_request_lost():
+                # The aggregated control packet never reached the
+                # source; it behaves exactly as if no request existed
+                # this period (the rate-limit condition below still
+                # runs on purely local knowledge).
+                self.control_requests_dropped += 1
+                chosen = None
             if chosen is not None:
                 self.requests_issued.append(chosen)
             if chosen is None:

@@ -55,3 +55,14 @@ class AnalysisError(ReproError):
 
 class ConfigError(ReproError):
     """A configuration object failed validation."""
+
+
+class FaultError(ReproError):
+    """A fault schedule is malformed or an injection targets something
+    the chosen substrate cannot fail (unknown node, capacity
+    degradation on the packet-level DCF, overlapping crash windows)."""
+
+
+class InvariantError(ReproError):
+    """An end-of-run invariant audit failed (packet conservation broken
+    or a negative rate/occupancy was observed)."""

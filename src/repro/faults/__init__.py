@@ -1,0 +1,42 @@
+"""Declarative fault injection for scenario runs.
+
+A :class:`FaultSchedule` is a list of timed fault events — node
+crashes and recoveries, link degradation (loss rate or capacity),
+control-plane loss windows, and packet-loss bursts.  The
+:class:`FaultInjector` arms the schedule on a simulator and translates
+each event into the corresponding hooks on the MAC substrate, the node
+stacks, the traffic sources, and the GMP engine.
+
+``repro.faults.invariants`` provides the end-of-run packet-conservation
+audit; ``repro.faults.spec`` parses the compact CLI fault syntax.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import FlowAudit, InvariantReport, audit_run
+from repro.faults.schedule import (
+    ControlLoss,
+    FaultEvent,
+    FaultSchedule,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    PacketLossBurst,
+)
+from repro.faults.spec import parse_fault_spec
+
+__all__ = [
+    "ControlLoss",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FlowAudit",
+    "InvariantReport",
+    "LinkDegrade",
+    "LinkRestore",
+    "NodeCrash",
+    "NodeRecover",
+    "PacketLossBurst",
+    "audit_run",
+    "parse_fault_spec",
+]

@@ -1,0 +1,216 @@
+"""Arms a :class:`FaultSchedule` on a live scenario.
+
+The injector is constructed by the scenario runner after the whole
+stack exists, and translates each scheduled fault into the layer hooks
+introduced for it:
+
+* node crash → ``mac.set_node_down`` (radio dies, in-flight frame is
+  abandoned), ``stack.crash`` (queued packets perish, accounted per
+  flow), traffic sources at the node pause, and GMP is told so the
+  node's measurements go stale immediately;
+* node recovery → the reverse, with empty queues;
+* link degradation → loss rate and/or capacity ceiling applied in both
+  directions (a wireless link fades for both endpoints);
+* control loss → a drop-probability window on GMP's rate-adjustment
+  requests;
+* loss burst → a degrade that automatically restores at the window end.
+
+Every applied fault is appended to :attr:`FaultInjector.fault_log` as
+``(time, description)`` for post-run inspection.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import GmpProtocol
+from repro.errors import FaultError
+from repro.faults.schedule import (
+    ControlLoss,
+    FaultSchedule,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    PacketLossBurst,
+)
+from repro.flows.traffic import TrafficSource
+from repro.mac.base import MacLayer
+from repro.sim.kernel import Simulator
+from repro.stack import NodeStack
+from repro.topology.network import Link
+
+
+class FaultInjector:
+    """Binds a schedule to the assembled scenario objects.
+
+    Args:
+        sim: simulation kernel.
+        schedule: the validated fault schedule.
+        mac: the MAC substrate (must implement the fault hooks the
+            schedule actually uses).
+        stacks: node stacks by node id.
+        sources: traffic sources by flow id.
+        gmp: the GMP engine, or None for baseline protocols.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: FaultSchedule,
+        *,
+        mac: MacLayer,
+        stacks: dict[int, NodeStack],
+        sources: dict[int, TrafficSource],
+        gmp: GmpProtocol | None = None,
+    ) -> None:
+        self.sim = sim
+        self.schedule = schedule
+        self.mac = mac
+        self.stacks = stacks
+        self.sources = sources
+        self.gmp = gmp
+        self.fault_log: list[tuple[float, str]] = []
+        self._armed = False
+
+    # --- static validation against this scenario --------------------------------
+
+    def _validate(self) -> None:
+        for event in self.schedule:
+            if isinstance(event, (NodeCrash, NodeRecover)):
+                if event.node not in self.stacks:
+                    raise FaultError(
+                        f"fault targets unknown node {event.node}: {event}"
+                    )
+            if isinstance(event, (LinkDegrade, LinkRestore, PacketLossBurst)):
+                for end in event.link:
+                    if end not in self.stacks:
+                        raise FaultError(
+                            f"fault targets unknown node {end}: {event}"
+                        )
+            if isinstance(event, LinkDegrade) and event.capacity_pps is not None:
+                if type(self.mac).set_link_capacity is MacLayer.set_link_capacity:
+                    raise FaultError(
+                        f"{type(self.mac).__name__} cannot degrade link "
+                        f"capacity (packet-level substrate); use a loss "
+                        f"rate instead: {event}"
+                    )
+            if isinstance(event, ControlLoss) and self.gmp is None:
+                raise FaultError(
+                    f"ControlLoss requires the GMP protocol engine: {event}"
+                )
+
+    # --- arming --------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every fault event on the simulator.
+
+        Raises:
+            FaultError: if the schedule references unknown nodes, needs
+                hooks the substrate lacks, or the injector was already
+                armed.
+        """
+        if self._armed:
+            raise FaultError("fault schedule already armed")
+        self._validate()
+        self._armed = True
+        for event in self.schedule.in_order():
+            if isinstance(event, NodeCrash):
+                self._arm_one(event.at, "fault.crash", self._crash, event.node)
+            elif isinstance(event, NodeRecover):
+                self._arm_one(event.at, "fault.recover", self._recover, event.node)
+            elif isinstance(event, LinkDegrade):
+                self._arm_one(
+                    event.at,
+                    "fault.degrade",
+                    self._degrade,
+                    event.link,
+                    event.loss_rate,
+                    event.capacity_pps,
+                )
+            elif isinstance(event, LinkRestore):
+                self._arm_one(event.at, "fault.restore", self._restore, event.link)
+            elif isinstance(event, ControlLoss):
+                self._arm_one(
+                    event.at,
+                    "fault.ctrl",
+                    self._control_loss,
+                    event.drop_prob,
+                    event.until,
+                )
+            elif isinstance(event, PacketLossBurst):
+                self._arm_one(
+                    event.at,
+                    "fault.burst",
+                    self._degrade,
+                    event.link,
+                    event.loss_rate,
+                    None,
+                )
+                self._arm_one(event.until, "fault.burst", self._restore, event.link)
+            else:  # pragma: no cover - schedule validation rejects these
+                raise FaultError(f"unhandled fault event: {event}")
+
+    def _arm_one(self, at: float, tag: str, handler, *args) -> None:
+        self.sim.call_at(at, lambda: handler(*args), tag=tag)
+
+    def _log(self, text: str) -> None:
+        self.fault_log.append((self.sim.now, text))
+
+    # --- handlers ---------------------------------------------------------------------
+
+    def _sources_at(self, node: int) -> list[TrafficSource]:
+        return [
+            source
+            for source in self.sources.values()
+            if source.flow.source == node
+        ]
+
+    def _crash(self, node: int) -> None:
+        mac_lost = self.mac.set_node_down(node, True)
+        self.stacks[node].crash(mac_lost)
+        for source in self._sources_at(node):
+            source.pause()
+        if self.gmp is not None:
+            self.gmp.on_node_down(node)
+        self._log(f"crash node {node} ({len(mac_lost)} in-flight packets lost)")
+
+    def _recover(self, node: int) -> None:
+        self.mac.set_node_down(node, False)
+        self.stacks[node].recover()
+        for source in self._sources_at(node):
+            source.resume()
+        if self.gmp is not None:
+            self.gmp.on_node_up(node)
+        self._log(f"recover node {node}")
+
+    def _degrade(
+        self, a_link: Link, loss_rate: float | None, capacity: float | None
+    ) -> None:
+        i, j = a_link
+        if loss_rate is not None:
+            self.mac.set_link_loss(i, j, loss_rate)
+            self.mac.set_link_loss(j, i, loss_rate)
+        if capacity is not None:
+            self.mac.set_link_capacity(i, j, capacity)
+            self.mac.set_link_capacity(j, i, capacity)
+        parts = []
+        if loss_rate is not None:
+            parts.append(f"loss={loss_rate:g}")
+        if capacity is not None:
+            parts.append(f"cap={capacity:g}pps")
+        self._log(f"degrade link {i}-{j} ({', '.join(parts)})")
+
+    def _restore(self, a_link: Link) -> None:
+        i, j = a_link
+        self.mac.set_link_loss(i, j, 0.0)
+        self.mac.set_link_loss(j, i, 0.0)
+        if type(self.mac).set_link_capacity is not MacLayer.set_link_capacity:
+            self.mac.set_link_capacity(i, j, None)
+            self.mac.set_link_capacity(j, i, None)
+        self._log(f"restore link {i}-{j}")
+
+    def _control_loss(self, drop_prob: float, until: float) -> None:
+        assert self.gmp is not None  # _validate guarantees this
+        self.gmp.set_control_loss(drop_prob, until)
+        self._log(
+            f"control loss p={drop_prob:g} until t={until:g}"
+        )

@@ -1,0 +1,151 @@
+"""Compact textual fault syntax for the command line.
+
+A spec is a semicolon-separated list of events::
+
+    crash:NODE@T          node crash at time T
+    recover:NODE@T        node recovery
+    degrade:I-J@T:loss=P  link loss probability (and/or cap=PPS)
+    restore:I-J@T         remove link impairments
+    ctrl:P@T1-T2          drop GMP control requests with prob. P
+    burst:I-J@T1-T2:loss=P  transient loss burst, auto-restored
+
+Example::
+
+    crash:1@20;recover:1@40;degrade:2-3@10:loss=0.5,cap=120;ctrl:0.5@10-30
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+from repro.faults.schedule import (
+    ControlLoss,
+    FaultEvent,
+    FaultSchedule,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    PacketLossBurst,
+)
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise FaultError(f"bad {what} {text!r} in fault spec") from None
+
+
+def _node(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise FaultError(f"bad node id {text!r} in fault spec") from None
+
+
+def _link(text: str) -> tuple[int, int]:
+    i, sep, j = text.partition("-")
+    if not sep:
+        raise FaultError(f"bad link {text!r} in fault spec (expected I-J)")
+    return (_node(i), _node(j))
+
+
+def _window(text: str) -> tuple[float, float]:
+    start, sep, end = text.partition("-")
+    if not sep:
+        raise FaultError(f"bad window {text!r} in fault spec (expected T1-T2)")
+    return (_number(start, "window start"), _number(end, "window end"))
+
+
+def _params(text: str) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for item in text.split(","):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise FaultError(f"bad parameter {item!r} in fault spec")
+        values[key.strip()] = _number(value, key.strip())
+    return values
+
+
+def _parse_one(entry: str) -> FaultEvent:
+    kind, sep, rest = entry.partition(":")
+    if not sep:
+        raise FaultError(f"bad fault entry {entry!r} (expected kind:...)")
+    kind = kind.strip()
+    if kind in ("crash", "recover"):
+        target, sep, when = rest.partition("@")
+        if not sep:
+            raise FaultError(f"bad fault entry {entry!r} (expected node@T)")
+        node = _node(target)
+        at = _number(when, "time")
+        return NodeCrash(at=at, node=node) if kind == "crash" else NodeRecover(
+            at=at, node=node
+        )
+    if kind == "restore":
+        target, sep, when = rest.partition("@")
+        if not sep:
+            raise FaultError(f"bad fault entry {entry!r} (expected I-J@T)")
+        return LinkRestore(at=_number(when, "time"), link=_link(target))
+    if kind == "degrade":
+        target, sep, tail = rest.partition("@")
+        if not sep:
+            raise FaultError(
+                f"bad fault entry {entry!r} (expected I-J@T:loss=P)"
+            )
+        when, sep, params = tail.partition(":")
+        if not sep:
+            raise FaultError(
+                f"bad fault entry {entry!r}: degrade needs :loss= and/or :cap="
+            )
+        values = _params(params)
+        unknown = set(values) - {"loss", "cap"}
+        if unknown:
+            raise FaultError(
+                f"unknown degrade parameters {sorted(unknown)} in {entry!r}"
+            )
+        return LinkDegrade(
+            at=_number(when, "time"),
+            link=_link(target),
+            loss_rate=values.get("loss"),
+            capacity_pps=values.get("cap"),
+        )
+    if kind == "ctrl":
+        prob_text, sep, window_text = rest.partition("@")
+        if not sep:
+            raise FaultError(f"bad fault entry {entry!r} (expected P@T1-T2)")
+        start, end = _window(window_text)
+        return ControlLoss(
+            at=start, until=end, drop_prob=_number(prob_text, "probability")
+        )
+    if kind == "burst":
+        target, sep, tail = rest.partition("@")
+        if not sep:
+            raise FaultError(
+                f"bad fault entry {entry!r} (expected I-J@T1-T2:loss=P)"
+            )
+        window_text, sep, params = tail.partition(":")
+        if not sep:
+            raise FaultError(f"bad fault entry {entry!r}: burst needs :loss=")
+        values = _params(params)
+        if set(values) != {"loss"}:
+            raise FaultError(f"burst takes exactly loss=P, got {params!r}")
+        start, end = _window(window_text)
+        return PacketLossBurst(
+            at=start, until=end, link=_link(target), loss_rate=values["loss"]
+        )
+    raise FaultError(
+        f"unknown fault kind {kind!r} (expected crash, recover, degrade, "
+        "restore, ctrl, or burst)"
+    )
+
+
+def parse_fault_spec(spec: str) -> FaultSchedule:
+    """Parse the CLI fault syntax into a validated schedule.
+
+    Raises:
+        FaultError: on any syntax or validation error.
+    """
+    entries = [entry.strip() for entry in spec.split(";") if entry.strip()]
+    if not entries:
+        raise FaultError("empty fault spec")
+    return FaultSchedule([_parse_one(entry) for entry in entries])

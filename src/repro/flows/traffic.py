@@ -55,6 +55,8 @@ class TrafficSource:
         self._on_generate = on_generate
         self._bucket: TokenBucket | None = None
         self._started = False
+        self._paused = False
+        self._pending = None  # the scheduled next-tick Event, if any
         self.generated = 0  # offers that passed the rate limit
         self.admitted = 0  # accepted by the node stack
         self.rejected = 0  # refused by the node stack (backpressure)
@@ -86,9 +88,36 @@ class TrafficSource:
         if self._started:
             raise FlowError(f"flow {self.flow.flow_id}: source already started")
         self._started = True
-        self.sim.call_later(offset, self._tick, tag=f"traffic.f{self.flow.flow_id}")
+        self._pending = self.sim.call_later(
+            offset, self._tick, tag=f"traffic.f{self.flow.flow_id}"
+        )
+
+    def pause(self) -> None:
+        """Stop offering packets (source node crashed).  Idempotent."""
+        self._paused = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def resume(self) -> None:
+        """Restart a paused source from the current time.  Idempotent."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._started:
+            self._pending = self.sim.call_later(
+                self._next_interval(), self._tick, tag=f"traffic.f{self.flow.flow_id}"
+            )
+
+    @property
+    def paused(self) -> bool:
+        """True while the source is paused by fault injection."""
+        return self._paused
 
     def _tick(self) -> None:
+        self._pending = None
+        if self._paused:
+            return
         if self._passes_rate_limit():
             self.generated += 1
             packet = Packet(
@@ -106,8 +135,22 @@ class TrafficSource:
                 self.rejected += 1
         else:
             self.limited += 1
-        self.sim.call_later(
-            self._next_interval(), self._tick, tag=f"traffic.f{self.flow.flow_id}"
+        delay = self._next_interval()
+        if self._bucket is not None:
+            # Don't wake before a token can exist: offering on the raw
+            # arrival cadence quantizes the achieved rate to
+            # d / ceil(d / limit), which for limits in (d/2, d) admits
+            # only d/2 — far enough below the limit that GMP's
+            # rate-limit condition reads the flow as "not achieving"
+            # and stops probing upward, wedging it there.
+            wait = self._bucket.next_available(self.sim.now) - self.sim.now
+            if wait > delay:
+                # The arrival process would have offered sooner; that
+                # offer is suppressed by the limit.
+                self.limited += 1
+                delay = wait
+        self._pending = self.sim.call_later(
+            delay, self._tick, tag=f"traffic.f{self.flow.flow_id}"
         )
 
     def _passes_rate_limit(self) -> bool:

@@ -112,3 +112,30 @@ class MacLayer(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not carry in-band broadcasts"
         )
+
+    # --- fault injection (optional; see repro.faults) ---------------------------
+
+    def set_node_down(self, node_id: int, down: bool) -> list[Packet]:
+        """Crash (or recover) ``node_id`` at the MAC layer; returns any
+        packets the MAC loses in the crash."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support node crash injection"
+        )
+
+    def set_link_loss(self, sender: int, receiver: int, rate: float) -> None:
+        """Install a loss probability on a directed link; 0 removes it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support link-loss injection"
+        )
+
+    def set_link_capacity(self, sender: int, receiver: int, capacity: float | None) -> None:
+        """Fault-injected rate ceiling on a directed link (``None``
+        restores); only rate-based substrates can honor this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support capacity degradation; "
+            "use a loss rate instead"
+        )
+
+    def packets_in_flight(self) -> list[Packet]:
+        """Packets currently held inside the MAC (for end-of-run audits)."""
+        return []

@@ -18,6 +18,20 @@ Propagation delay is neglected (sub-microsecond at these ranges).
 Collisions are tracked incrementally: when a transmission starts it
 corruption-marks every overlapping transmission (and is marked by
 them), so no airtime scanning is needed at frame end.
+
+Fault injection (:mod:`repro.faults`) hooks in at this layer:
+
+* per-directed-link loss rates (:meth:`Channel.set_link_loss`) turn a
+  would-be-clean decode into a corrupted sense, modeling a degraded
+  radio link;
+* downed nodes (:meth:`Channel.set_node_down`) neither decode nor
+  sense anything while down — but busy start/end callbacks are still
+  delivered so the carrier-sense counters stay balanced across a
+  crash/recover cycle;
+* :meth:`Channel.abort_transmissions` cancels a crashed sender's
+  in-flight frame: the energy stays on the air (it keeps corrupting
+  overlapping receptions) but nobody decodes it and the sender gets no
+  ``on_tx_end``.
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ class _Transmission:
     start: float
     end: float
     corrupted_at: set[int] = field(default_factory=set)
+    aborted: bool = False
 
 
 class Channel:
@@ -68,10 +83,56 @@ class Channel:
         self._radios: dict[int, Radio] = {}
         self._active: list[_Transmission] = []
         self._transmitting: set[int] = set()
+        self._down: set[int] = set()
+        self._link_loss: dict[tuple[int, int], float] = {}
+        self._loss_rng = sim.rng.stream("channel.loss")
         # Statistics.
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_corrupted = 0
+        self.frames_lost = 0  # clean decodes suppressed by injected loss
+
+    # --- fault injection hooks -----------------------------------------------
+
+    def set_link_loss(self, sender: int, receiver: int, rate: float) -> None:
+        """Install a decode-loss probability on the directed link
+        ``sender -> receiver``; ``rate`` 0 removes it.
+
+        Raises:
+            MacError: if ``rate`` is outside [0, 1].
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise MacError(f"loss rate must be in [0, 1]: {rate}")
+        if rate == 0.0:
+            self._link_loss.pop((sender, receiver), None)
+        else:
+            self._link_loss[(sender, receiver)] = rate
+
+    def set_node_down(self, node_id: int, down: bool) -> None:
+        """Mark a node's radio as crashed (no decode, no sense) or back up."""
+        self.topology.node(node_id)
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_down(self, node_id: int) -> bool:
+        """True while the node's radio is marked crashed."""
+        return node_id in self._down
+
+    def abort_transmissions(self, node_id: int) -> None:
+        """Cancel the in-flight transmissions of a crashed sender.
+
+        The frame's energy stays on the air until its scheduled end
+        (overlapping receptions remain corrupted) but nothing decodes
+        it and the sender receives no ``on_tx_end`` — the sender may
+        transmit again after recovery without waiting for the ghost
+        frame to clear.
+        """
+        for transmission in self._active:
+            if transmission.sender == node_id and not transmission.aborted:
+                transmission.aborted = True
+        self._transmitting.discard(node_id)
 
     def register(self, node_id: int, radio: Radio) -> None:
         """Attach a node's radio callbacks.
@@ -97,6 +158,8 @@ class Channel:
         """
         if sender not in self._radios:
             raise MacError(f"node {sender} has no registered radio")
+        if sender in self._down:
+            raise MacError(f"node {sender} is down and cannot transmit")
         if sender in self._transmitting:
             raise MacError(f"node {sender} is already transmitting")
         if frame.duration <= 0:
@@ -125,6 +188,10 @@ class Channel:
         if self.sim.trace.wants("channel.tx"):
             self.sim.trace.emit(now, "channel.tx", frame=frame.describe())
 
+        # Down nodes still appear in the sensing list: busy start/end
+        # pairs must stay balanced even when the node crashes or
+        # recovers mid-frame, so gating on `down` happens at decode
+        # time, not here.
         sensing = [
             node_id
             for node_id in self._radios
@@ -140,7 +207,11 @@ class Channel:
 
     def _finish(self, transmission: _Transmission, sensing: list[int]) -> None:
         self._active.remove(transmission)
-        self._transmitting.discard(transmission.sender)
+        if not transmission.aborted:
+            # An aborted sender was already cleared — and may have
+            # recovered and started a *new* transmission meanwhile,
+            # whose flag must not be clobbered by the ghost's end.
+            self._transmitting.discard(transmission.sender)
         sender = transmission.sender
         frame = transmission.frame
 
@@ -148,9 +219,17 @@ class Channel:
             self._radios[node_id].on_busy_end()
 
         for node_id in sensing:
+            if node_id in self._down:
+                continue  # a crashed radio decodes nothing
             radio = self._radios[node_id]
             decodable = self.topology.decodes(sender, node_id)
-            clean = node_id not in transmission.corrupted_at
+            clean = (
+                node_id not in transmission.corrupted_at
+                and not transmission.aborted
+            )
+            if decodable and clean and self._lost(sender, node_id):
+                self.frames_lost += 1
+                clean = False
             if decodable and clean:
                 self.frames_delivered += 1
                 radio.on_frame_received(frame)
@@ -158,4 +237,9 @@ class Channel:
                 self.frames_corrupted += 1
                 radio.on_frame_corrupted()
 
-        self._radios[sender].on_tx_end(frame)
+        if not transmission.aborted:
+            self._radios[sender].on_tx_end(frame)
+
+    def _lost(self, sender: int, receiver: int) -> bool:
+        rate = self._link_loss.get((sender, receiver))
+        return rate is not None and float(self._loss_rng.random()) < rate

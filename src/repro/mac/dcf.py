@@ -89,6 +89,7 @@ class _DcfNode:
         self._busy = 0  # sensed transmissions in progress
         self._nav_until = 0.0
         self._use_eifs = False
+        self.down = False  # crashed by fault injection
 
         self._current: tuple[Packet, int] | None = None
         self._retries = 0
@@ -166,7 +167,7 @@ class _DcfNode:
 
     def attempt_access(self) -> None:
         """Start contending if idle and something is ready to send."""
-        if self._state is not _State.IDLE:
+        if self.down or self._state is not _State.IDLE:
             return
         if self._current is None and not self._bcast_queue:
             self._current = self.services.dequeue()
@@ -267,9 +268,13 @@ class _DcfNode:
             self.attempt_access()
 
     def on_frame_corrupted(self) -> None:
+        if self.down:
+            return
         self._use_eifs = True
 
     def on_frame_received(self, frame: Frame) -> None:
+        if self.down:
+            return
         self._use_eifs = False
         self.services.on_overhear(frame.sender, dict(frame.piggyback))
 
@@ -301,6 +306,8 @@ class _DcfNode:
             self._handle_ack(frame)
 
     def on_tx_end(self, frame: Frame) -> None:
+        if self.down:
+            return  # aborted ghost frames produce no completion
         self._update_busy_meter()
         if frame.kind is FrameKind.RTS:
             self._add_occupancy((self.node_id, frame.receiver), frame.duration)
@@ -498,6 +505,59 @@ class _DcfNode:
         self._bcast_queue.append(payload)
         self.attempt_access()
 
+    # --- fault injection ------------------------------------------------------------
+
+    def crash(self) -> list[Packet]:
+        """Power off the state machine; returns the packets it loses.
+
+        The sensed-energy counter (``_busy``) is deliberately left
+        alone: the channel keeps delivering busy start/end pairs to a
+        down radio so the counter is balanced when the node recovers.
+        """
+        self.down = True
+        self.channel.abort_transmissions(self.node_id)
+        for timer in (
+            self._defer_timer,
+            self._backoff_timer,
+            self._sifs_timer,
+            self._cts_timer,
+            self._ack_timer,
+            self._nav_timer,
+            self._nav_reset_timer,
+        ):
+            timer.cancel()
+        lost: list[Packet] = []
+        if self._current is not None:
+            # A pending DATA frame carries this same packet object, so
+            # only the held exchange is counted once.
+            lost.append(self._current[0])
+            self._current = None
+        self._pending_frame = None
+        self._pending_state = None
+        self._response_peer = None
+        self._bcast_queue.clear()
+        self._retries = 0
+        self._cw = self.phy.cw_min
+        self._backoff_slots = None
+        self._state = _State.IDLE
+        self._update_busy_meter()
+        return lost
+
+    def recover(self) -> None:
+        """Bring a crashed node back with a fresh state machine."""
+        if not self.down:
+            raise MacError(f"node {self.node_id} is not down")
+        self.down = False
+        self._state = _State.IDLE
+        self._use_eifs = False
+        self._nav_until = self.sim.now
+        self._update_busy_meter()
+        self.attempt_access()
+
+    def held_packet(self) -> Packet | None:
+        """The packet currently owned by the MAC exchange, if any."""
+        return self._current[0] if self._current is not None else None
+
 
 class DcfMac(MacLayer):
     """The DCF substrate: one :class:`_DcfNode` per attached node over
@@ -548,6 +608,35 @@ class DcfMac(MacLayer):
 
     def send_broadcast(self, node_id: int, payload: object) -> None:
         self._node(node_id).queue_broadcast(payload)
+
+    # --- fault injection hooks ----------------------------------------------------
+
+    def set_node_down(self, node_id: int, down: bool) -> list[Packet]:
+        """Crash or recover a node's radio + state machine.
+
+        Returns the packets the MAC loses on a crash (the in-flight
+        exchange); empty on recovery.
+        """
+        node = self._node(node_id)
+        if down:
+            lost = node.crash()
+            self.channel.set_node_down(node_id, True)
+            return lost
+        self.channel.set_node_down(node_id, False)
+        node.recover()
+        return []
+
+    def set_link_loss(self, sender: int, receiver: int, rate: float) -> None:
+        """Decode-loss probability on the directed link ``sender -> receiver``."""
+        self.channel.set_link_loss(sender, receiver, rate)
+
+    def packets_in_flight(self) -> list[Packet]:
+        """Packets currently owned by MAC exchanges (for audits)."""
+        return [
+            packet
+            for node in self._nodes.values()
+            if (packet := node.held_packet()) is not None
+        ]
 
     def node_stats(self, node_id: int) -> dict[str, int]:
         """MAC counters of one node (sent/received/drops/attempts)."""

@@ -150,6 +150,12 @@ class FluidMac(MacLayer):
         self._sensing_cache: dict[int, frozenset[int]] = {}
         self._started = False
         self.packets_transferred = 0
+        # Fault-injection state.
+        self._down: set[int] = set()
+        self._fault_caps: dict[Link, float] = {}
+        self._link_loss: dict[Link, float] = {}
+        self._loss_rng = sim.rng.stream("fluid.loss")
+        self.packets_lost = 0  # packets destroyed by injected link loss
 
     # --- MacLayer interface -----------------------------------------------------
 
@@ -200,19 +206,71 @@ class FluidMac(MacLayer):
         except KeyError:
             raise MacError(f"node {node_id} not attached") from None
 
+    # --- fault injection hooks ----------------------------------------------------
+
+    def set_node_down(self, node_id: int, down: bool) -> list:
+        """Gate a node out of (or back into) the allocation rounds.
+
+        Links touching a down node carry nothing.  The fluid MAC holds
+        no packets between rounds, so a crash loses nothing here;
+        queued packets are the stack's to drain.
+        """
+        if node_id not in self._services:
+            raise MacError(f"node {node_id} not attached")
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+        return []
+
+    def set_link_loss(self, sender: int, receiver: int, rate: float) -> None:
+        """Loss probability applied to each packet transferred on the
+        directed link ``sender -> receiver``; 0 removes it."""
+        if not 0.0 <= rate <= 1.0:
+            raise MacError(f"loss rate must be in [0, 1]: {rate}")
+        if rate == 0.0:
+            self._link_loss.pop((sender, receiver), None)
+        else:
+            self._link_loss[(sender, receiver)] = rate
+
+    def set_link_capacity(self, sender: int, receiver: int, capacity: float | None) -> None:
+        """Fault-injected rate ceiling on a directed link (packets per
+        second); ``None`` restores the link's configured cap."""
+        a_link = (sender, receiver)
+        if capacity is None:
+            self._fault_caps.pop(a_link, None)
+            return
+        if capacity <= 0:
+            raise MacError(f"link capacity must be positive: {capacity}")
+        self._fault_caps[a_link] = capacity
+
+    def packets_in_flight(self) -> list:
+        """The fluid substrate holds no packets between rounds."""
+        return []
+
+    def _effective_caps(self) -> dict[Link, float]:
+        if not self._fault_caps:
+            return self.rate_caps
+        caps = dict(self.rate_caps)
+        for a_link, cap in self._fault_caps.items():
+            caps[a_link] = min(cap, caps.get(a_link, math.inf))
+        return caps
+
     # --- round machinery ------------------------------------------------------------
 
     def _round(self) -> None:
         interval = self.round_interval
         demands: dict[Link, float] = {}
         for node_id in sorted(self._services):
+            if node_id in self._down:
+                continue
             eligible = self._services[node_id].eligible_links()
             for a_link, count in eligible.items():
-                if count > 0:
+                if count > 0 and a_link[1] not in self._down:
                     demands[a_link] = count / interval
 
         alloc = waterfill_links(
-            demands, self._cliques, self.capacity_pps, rate_caps=self.rate_caps
+            demands, self._cliques, self.capacity_pps, rate_caps=self._effective_caps()
         )
 
         # Per-link packet budgets for this round (fractional credit
@@ -241,7 +299,14 @@ class FluidMac(MacLayer):
                 packet = source.dequeue_for(receiver)
                 if packet is None:
                     continue
-                if sink is not None:
+                loss = self._link_loss.get(a_link)
+                if loss is not None and float(self._loss_rng.random()) < loss:
+                    # The exchange consumed airtime but the packet is
+                    # destroyed; report it as a MAC drop so packet
+                    # conservation still balances.
+                    self.packets_lost += 1
+                    source.on_packet_dropped(packet, receiver)
+                elif sink is not None:
                     sink.on_data_received(packet, sender)
                 sent_per_link[a_link] += 1
                 progress = True

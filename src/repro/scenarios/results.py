@@ -36,8 +36,14 @@ class RunResult:
         effective_throughput: ``U = sum r(f) * l_f``.
         buffer_drops: packets lost to queue admission network-wide.
         mac_drops: packets discarded by MAC retry exhaustion.
+        rate_interval: width in seconds of the per-interval rate
+            samples, or None when no time series was recorded.
+        interval_rates: per flow, delivered packets/second in each
+            consecutive ``rate_interval`` window from t=0 (sample ``j``
+            covers ``[j*rate_interval, (j+1)*rate_interval)``); used by
+            the resilience metrics to time fault transients.
         extras: protocol-specific diagnostics (e.g. GMP rate-limit
-            history, 2PP allocation).
+            history, 2PP allocation, fault log, invariant report).
     """
 
     scenario: str
@@ -51,6 +57,8 @@ class RunResult:
     effective_throughput: float
     buffer_drops: int = 0
     mac_drops: int = 0
+    rate_interval: float | None = None
+    interval_rates: dict[int, list[float]] = field(default_factory=dict)
     extras: dict[str, Any] = field(default_factory=dict)
 
     @property

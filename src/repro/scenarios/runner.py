@@ -34,13 +34,10 @@ from repro.buffers.queues import (
 from repro.core.config import GmpConfig
 from repro.core.protocol import GmpProtocol
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import audit_run
+from repro.faults.schedule import FaultSchedule
 from repro.flows.traffic import CbrSource, OnOffSource, PoissonSource, TrafficSource
-
-TRAFFIC_MODELS = {
-    "cbr": CbrSource,
-    "poisson": PoissonSource,
-    "onoff": OnOffSource,
-}
 from repro.mac.dcf import DcfConfig, DcfMac
 from repro.mac.fluid import FluidMac
 from repro.mac.phy import DEFAULT_PHY, PhyProfile
@@ -48,18 +45,24 @@ from repro.routing.distance_vector import distance_vector_routes
 from repro.routing.geographic import greedy_geographic_routes
 from repro.routing.link_state import link_state_routes
 from repro.routing.validate import assert_acyclic
-
-ROUTING_PROTOCOLS = {
-    "link_state": link_state_routes,
-    "distance_vector": distance_vector_routes,
-    "geographic": greedy_geographic_routes,
-}
 from repro.scenarios.figures import Scenario
 from repro.scenarios.results import RunResult
 from repro.sim.kernel import Simulator
 from repro.stack import NodeStack
 from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph
+
+TRAFFIC_MODELS = {
+    "cbr": CbrSource,
+    "poisson": PoissonSource,
+    "onoff": OnOffSource,
+}
+
+ROUTING_PROTOCOLS = {
+    "link_state": link_state_routes,
+    "distance_vector": distance_vector_routes,
+    "geographic": greedy_geographic_routes,
+}
 
 PROTOCOLS = ("gmp", "802.11", "2pp", "backpressure-shared", "backpressure-perdest")
 SUBSTRATES = ("dcf", "fluid")
@@ -80,6 +83,12 @@ def run_scenario(
     fluid_round: float = 0.02,
     traffic: str = "cbr",
     routing: str = "link_state",
+    faults: FaultSchedule | None = None,
+    rate_interval: float | None = None,
+    check_invariants: bool | None = None,
+    max_events: int | None = None,
+    stall_limit: int | None = 1_000_000,
+    wall_deadline: float | None = None,
 ) -> RunResult:
     """Simulate one session and measure end-to-end flow rates.
 
@@ -101,10 +110,33 @@ def run_scenario(
             workload), "poisson", or "onoff".
         routing: how routing tables are built — "link_state" (default),
             "distance_vector", or "geographic" (GPSR-style greedy).
+        faults: optional fault schedule (node churn, link degradation,
+            control-plane loss) armed on the assembled stack; the
+            applied-fault log lands in ``extras["faults"]``.
+        rate_interval: if set, record per-flow delivered rates over
+            consecutive windows of this many seconds (the time series
+            the resilience metrics consume).  A fault run defaults it
+            to 1.0 s.
+        check_invariants: run the end-of-run packet-conservation audit
+            and raise :class:`~repro.errors.InvariantError` on any
+            violation.  ``None`` (default) enables the strict audit on
+            the fluid substrate only — the packet-level DCF can
+            legitimately duplicate a delivery on ACK loss, so there
+            only a relaxed (sign-check) audit is stored in
+            ``extras["invariants"]``.
+        max_events: optional kernel watchdog — hard event budget.
+        stall_limit: kernel watchdog — maximum events dispatched
+            without simulated time advancing (default one million;
+            None disables).
+        wall_deadline: kernel watchdog — real seconds the run may take.
 
     Raises:
-        ConfigError: on unknown protocol/substrate names or
-            inconsistent durations.
+        ConfigError: on unknown protocol/substrate names, inconsistent
+            durations, or a bad ``rate_interval``.
+        FaultError: if ``faults`` targets unknown nodes or needs hooks
+            the substrate lacks.
+        InvariantError: if the end-of-run audit fails.
+        SimulationError: when a kernel watchdog trips.
     """
     if protocol not in PROTOCOLS:
         raise ConfigError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
@@ -124,6 +156,14 @@ def run_scenario(
         warmup = duration / 3.0
     if not 0 <= warmup < duration:
         raise ConfigError(f"warmup {warmup} must lie within [0, {duration})")
+    if rate_interval is None and faults is not None:
+        rate_interval = 1.0
+    if rate_interval is not None and not 0 < rate_interval <= duration:
+        raise ConfigError(
+            f"rate_interval {rate_interval} must lie within (0, {duration}]"
+        )
+    if check_invariants is None:
+        check_invariants = substrate == "fluid"
 
     gmp_config = gmp_config or GmpConfig()
     topology = scenario.topology
@@ -216,6 +256,13 @@ def run_scenario(
             sources[flow_id].set_rate_limit(max(rate, 1.0))
         extras["two_phase"] = allocation
 
+    injector: FaultInjector | None = None
+    if faults is not None:
+        injector = FaultInjector(
+            sim, faults, mac=mac, stacks=stacks, sources=sources, gmp=gmp
+        )
+        injector.arm()
+
     mac.start()
     if gmp is not None:
         gmp.start()
@@ -234,7 +281,41 @@ def run_scenario(
             warm_counts[flow.flow_id] = sink.delivered.get(flow.flow_id, 0)
 
     sim.call_at(warmup, snapshot, tag="runner.warmup")
-    sim.run(until=duration)
+
+    # Per-interval delivered-rate series (fault-transient resolution).
+    interval_rates: dict[int, list[float]] = {}
+    if rate_interval is not None:
+        interval_rates = {flow.flow_id: [] for flow in flows}
+        sample_state = {
+            "counts": {flow.flow_id: 0 for flow in flows},
+            "time": 0.0,
+        }
+
+        def sample() -> None:
+            now = sim.now
+            elapsed = now - sample_state["time"]
+            if elapsed <= 0:
+                return
+            for flow in flows:
+                sink = stacks[flow.destination]
+                total = sink.delivered.get(flow.flow_id, 0)
+                delta = total - sample_state["counts"][flow.flow_id]
+                sample_state["counts"][flow.flow_id] = total
+                interval_rates[flow.flow_id].append(delta / elapsed)
+            sample_state["time"] = now
+
+        tick = rate_interval
+        while tick < duration - 1e-9:
+            sim.call_at(tick, sample, tag="runner.sample")
+            tick += rate_interval
+        sim.call_at(duration, sample, tag="runner.sample")
+
+    sim.run(
+        until=duration,
+        max_events=max_events,
+        stall_limit=stall_limit,
+        wall_deadline=wall_deadline,
+    )
 
     window = duration - warmup
     flow_rates: dict[int, float] = {}
@@ -266,6 +347,27 @@ def run_scenario(
         extras["control_broadcast_cost"] = (
             gmp.scope.link_state_broadcasts + gmp.scope.notice_broadcasts
         )
+        extras["control_requests_dropped"] = gmp.control_requests_dropped
+
+    if injector is not None:
+        extras["faults"] = list(injector.fault_log)
+        extras["crash_losses"] = {
+            node_id: dict(stack.crash_losses)
+            for node_id, stack in stacks.items()
+            if stack.crash_losses
+        }
+
+    report = audit_run(
+        flows=flows,
+        sources=sources,
+        stacks=stacks,
+        mac=mac,
+        rates=flow_rates,
+        strict=check_invariants,
+    )
+    extras["invariants"] = report
+    if check_invariants:
+        report.check()
 
     return RunResult(
         scenario=scenario.name,
@@ -281,5 +383,7 @@ def run_scenario(
         ),
         buffer_drops=buffer_drops,
         mac_drops=mac_drops,
+        rate_interval=rate_interval,
+        interval_rates=interval_rates,
         extras=extras,
     )

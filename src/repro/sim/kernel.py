@@ -1,7 +1,21 @@
-"""The simulation kernel: clock, scheduling, timers, and run control."""
+"""The simulation kernel: clock, scheduling, timers, run control, and
+watchdogs.
+
+Watchdogs exist so that pathological models — a retry loop that
+re-schedules itself at zero delay, a fault scenario that triggers an
+event storm — fail loudly with diagnostics instead of hanging the
+process.  Three are available on :meth:`Simulator.run`:
+
+* ``max_events`` — hard budget on dispatched events;
+* ``stall_limit`` — maximum events dispatched without the simulated
+  clock advancing; on trip the error names the offending event tags;
+* ``wall_deadline`` — real (wall-clock) seconds the run may take.
+"""
 
 from __future__ import annotations
 
+import time as _time
+from collections import Counter
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -182,7 +196,14 @@ class Simulator:
         in-flight event completes."""
         self._stopped = True
 
-    def run(self, until: float | None = None, *, max_events: int | None = None) -> float:
+    def run(
+        self,
+        until: float | None = None,
+        *,
+        max_events: int | None = None,
+        stall_limit: int | None = None,
+        wall_deadline: float | None = None,
+    ) -> float:
         """Dispatch events in time order.
 
         Args:
@@ -190,28 +211,72 @@ class Simulator:
                 is then advanced exactly to ``until``.  ``None`` runs
                 until the event queue drains.
             max_events: optional safety valve on dispatched events.
+            stall_limit: maximum consecutive events dispatched without
+                the simulated clock advancing.  A model stuck in a
+                zero-delay rescheduling loop trips this; the error
+                names the tags of the stalled events.
+            wall_deadline: real-time budget in seconds; checked
+                periodically, so overshoot is bounded by one batch of
+                events, not one event.
 
         Returns:
             The simulation time when the run stopped.
 
         Raises:
-            SimulationError: on re-entrant ``run`` calls.
+            SimulationError: on re-entrant ``run`` calls or when a
+                watchdog trips.  The kernel is left in a defined state
+                (clock at the failing event's time, ``run`` callable
+                again) when a watchdog or a callback raises.
         """
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
+        if stall_limit is not None and stall_limit < 1:
+            raise SimulationError(f"stall_limit must be >= 1: {stall_limit}")
+        if wall_deadline is not None and wall_deadline <= 0:
+            raise SimulationError(
+                f"wall_deadline must be positive: {wall_deadline}"
+            )
         self._running = True
         self._stopped = False
+        wall_start = _time.monotonic() if wall_deadline is not None else 0.0
+        events_at_now = 0
+        stalled_tags: Counter[str] = Counter()
         try:
             while self._queue and not self._stopped:
                 next_time = self._queue.peek_time()
                 if until is not None and next_time > until:
                     break
                 event = self._queue.pop()
+                if event.time > self._now:
+                    events_at_now = 0
+                    stalled_tags.clear()
                 self._now = event.time
                 self._events_processed += 1
+                events_at_now += 1
+                if stall_limit is not None:
+                    stalled_tags[event.tag or "<untagged>"] += 1
+                    if events_at_now > stall_limit:
+                        offenders = ", ".join(
+                            f"{tag} x{count}"
+                            for tag, count in stalled_tags.most_common(5)
+                        )
+                        raise SimulationError(
+                            f"simulated clock stalled at t={self._now:.9f}: "
+                            f"{events_at_now} events without advancing; "
+                            f"offending tags: {offenders}"
+                        )
                 if max_events is not None and self._events_processed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway model?"
+                    )
+                if (
+                    wall_deadline is not None
+                    and self._events_processed % 512 == 0
+                    and _time.monotonic() - wall_start > wall_deadline
+                ):
+                    raise SimulationError(
+                        f"wall-clock deadline of {wall_deadline:g}s exceeded at "
+                        f"t={self._now:.6f} after {self._events_processed} events"
                     )
                 event.callback()
             if until is not None and not self._stopped and self._now < until:

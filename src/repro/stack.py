@@ -75,6 +75,9 @@ class NodeStack:
         self.arrivals: dict[tuple[int, int], int] = {}  # (upstream, dest) -> count
         self.forwards: dict[tuple[int, int], int] = {}  # (next_hop, dest) -> count
         self.mac_drops = 0
+        self.mac_drop_flows: dict[int, int] = {}  # flow_id -> MAC-layer losses
+        self.crash_losses: dict[int, int] = {}  # flow_id -> packets lost to crashes
+        self.alive = True
 
     # --- wiring ---------------------------------------------------------------
 
@@ -101,6 +104,10 @@ class NodeStack:
             raise ProtocolError(
                 f"node {self.node_id} got local packet sourced at {packet.source}"
             )
+        if not self.alive:
+            # Sources are paused across a crash, but refuse defensively
+            # so a racing tick cannot enqueue into a dead node.
+            return False
         if isinstance(self.buffer, PerDestinationBuffer):
             accepted = self.buffer.admit_local_at(packet, self.sim.now)
         else:
@@ -140,6 +147,12 @@ class NodeStack:
         return self.buffer.eligible_links(self.sim.now)
 
     def _on_data_received(self, packet: Packet, from_node: int) -> None:
+        if not self.alive:
+            # The MAC gates receptions at decode time, so this is a
+            # defensive backstop; a packet that does land on a dead
+            # node is lost with it.
+            self._count_crash_loss(packet)
+            return
         self.arrivals[(from_node, packet.destination)] = (
             self.arrivals.get((from_node, packet.destination), 0) + 1
         )
@@ -167,8 +180,50 @@ class NodeStack:
 
     def _on_packet_dropped(self, packet: Packet, next_hop: int) -> None:
         self.mac_drops += 1
+        self.mac_drop_flows[packet.flow_id] = (
+            self.mac_drop_flows.get(packet.flow_id, 0) + 1
+        )
 
     def _on_retry(self) -> None:
         self.mac.notify_backlog(self.node_id)
         if self.buffer.has_pending():
             self._retry_timer.start(self._stale_retry)
+
+    # --- fault injection ---------------------------------------------------------
+
+    def _count_crash_loss(self, packet: Packet) -> None:
+        self.crash_losses[packet.flow_id] = (
+            self.crash_losses.get(packet.flow_id, 0) + 1
+        )
+
+    def crash(self, mac_lost: list[Packet] | None = None) -> None:
+        """Take the node down: drain the buffer (queued packets perish
+        with the node's memory) and stop the retry loop.
+
+        Args:
+            mac_lost: packets the MAC layer reported losing in the same
+                crash (e.g. a frame mid-transmission); accounted here
+                so the per-flow conservation audit balances.
+
+        Raises:
+            ProtocolError: if the node is already down.
+        """
+        if not self.alive:
+            raise ProtocolError(f"node {self.node_id} is already down")
+        self.alive = False
+        self._retry_timer.cancel()
+        for packet in self.buffer.drain(self.sim.now):
+            self._count_crash_loss(packet)
+        for packet in mac_lost or []:
+            self._count_crash_loss(packet)
+
+    def recover(self) -> None:
+        """Bring the node back up with empty queues.
+
+        Raises:
+            ProtocolError: if the node is not down.
+        """
+        if self.alive:
+            raise ProtocolError(f"node {self.node_id} is not down")
+        self.alive = True
+        self.mac.notify_backlog(self.node_id)

@@ -125,27 +125,45 @@ def random_topology(
     """Uniformly random node placement in a width×height rectangle.
 
     When ``require_connected`` is set (default) placements are redrawn
-    until the derived connectivity graph is connected.
-
-    Raises:
-        TopologyError: if no connected placement is found within
-            ``max_attempts`` draws.
+    until the derived connectivity graph is connected.  Whether that
+    succeeds quickly is a density question: random geometric graphs
+    connect with high probability only once
+    ``pi * tx_range**2 * n / area >~ ln(n)`` (the Gupta–Kumar
+    connectivity threshold), so for sparse parameter combinations no
+    reasonable number of redraws will find a connected placement.
+    Rather than failing, the builder *progressively densifies*: after
+    each round of ``max_attempts`` failed draws it grows ``tx_range``
+    (and ``cs_range`` proportionally, preserving their ratio) by 30%
+    and tries again.  This terminates deterministically — once
+    ``tx_range`` reaches the rectangle's diagonal every placement is a
+    complete graph — while leaving dense requests untouched (their
+    first round succeeds with the requested ranges).
     """
     if num_nodes < 1:
         raise TopologyError(f"need at least one node, got {num_nodes}")
+    if max_attempts < 1:
+        raise TopologyError(f"max_attempts must be >= 1: {max_attempts}")
     rng = np.random.default_rng(seed)
-    for _attempt in range(max_attempts):
-        topology = Topology(tx_range=tx_range, cs_range=cs_range)
-        xs = rng.uniform(0.0, width, size=num_nodes)
-        ys = rng.uniform(0.0, height, size=num_nodes)
-        topology.add_nodes(zip(xs.tolist(), ys.tolist()))
-        if not require_connected or _is_connected(topology):
-            return topology
-    raise TopologyError(
-        f"no connected placement of {num_nodes} nodes in "
-        f"{width}x{height} after {max_attempts} attempts; "
-        "increase the area density or tx_range"
-    )
+    range_ratio = cs_range / tx_range
+    diagonal = float(np.hypot(width, height))
+    while True:
+        for _attempt in range(max_attempts):
+            topology = Topology(tx_range=tx_range, cs_range=cs_range)
+            xs = rng.uniform(0.0, width, size=num_nodes)
+            ys = rng.uniform(0.0, height, size=num_nodes)
+            topology.add_nodes(zip(xs.tolist(), ys.tolist()))
+            if not require_connected or _is_connected(topology):
+                return topology
+        # Exhausted this round below the connectivity threshold:
+        # densify and redraw.  tx_range >= diagonal makes any placement
+        # a complete graph, so the loop is guaranteed to terminate.
+        if tx_range >= diagonal:  # pragma: no cover - complete graphs connect
+            raise TopologyError(
+                f"no connected placement of {num_nodes} nodes in "
+                f"{width}x{height} even at tx_range={tx_range}"
+            )
+        tx_range = min(tx_range * 1.3, diagonal)
+        cs_range = tx_range * range_ratio
 
 
 def _is_connected(topology: Topology) -> bool:

@@ -7,7 +7,7 @@ from repro.baselines.dcf_plain import PLAIN_BUFFER_CAPACITY, plain_dcf_buffer
 from repro.baselines.lp import maximize_total_extra
 from repro.baselines.two_phase import two_phase_rates
 from repro.errors import AnalysisError
-from repro.flows.flow import Flow, FlowSet
+from repro.flows.flow import FlowSet
 from repro.routing.link_state import link_state_routes
 from repro.scenarios.figures import figure3, figure4
 from repro.topology.cliques import maximal_cliques

@@ -20,6 +20,7 @@ CASES = [
         ["--substrate", "fluid", "--duration", "5"],
     ),
     ("random_network_study.py", ["--samples", "1", "--duration", "5"]),
+    ("node_failure_recovery.py", ["--duration", "12"]),
 ]
 
 

@@ -1,0 +1,357 @@
+"""Tests for the fault-injection subsystem (schedule, spec, injector,
+per-layer hooks, and the invariant audit)."""
+
+import pytest
+
+from repro.core.config import GmpConfig
+from repro.errors import FaultError, InvariantError, MacError, ProtocolError
+from repro.faults import (
+    ControlLoss,
+    FaultSchedule,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    PacketLossBurst,
+    parse_fault_spec,
+)
+from repro.flows.flow import Flow
+from repro.flows.traffic import CbrSource
+from repro.mac.channel import Channel
+from repro.scenarios.figures import figure3
+from repro.scenarios.runner import run_scenario
+from repro.sim.kernel import Simulator
+from repro.topology.network import Topology
+
+FAST = GmpConfig(period=0.5, additive_increase=4.0)
+
+
+# --- schedule validation ------------------------------------------------------
+
+
+def test_schedule_orders_events_by_time():
+    schedule = FaultSchedule(
+        [NodeRecover(at=40.0, node=1), NodeCrash(at=20.0, node=1)]
+    )
+    assert [type(e).__name__ for e in schedule] == ["NodeCrash", "NodeRecover"]
+    assert schedule.crashed_nodes() == {1}
+    assert schedule.nodes_down_at_end() == set()
+
+
+def test_schedule_rejects_negative_time():
+    with pytest.raises(FaultError):
+        FaultSchedule([NodeCrash(at=-1.0, node=1)])
+
+
+def test_schedule_rejects_overlapping_crash_windows():
+    with pytest.raises(FaultError, match="already down"):
+        FaultSchedule([NodeCrash(at=1.0, node=2), NodeCrash(at=2.0, node=2)])
+
+
+def test_schedule_rejects_recover_without_crash():
+    with pytest.raises(FaultError, match="without a preceding crash"):
+        FaultSchedule([NodeRecover(at=5.0, node=0)])
+
+
+def test_schedule_rejects_degrade_with_no_effect():
+    with pytest.raises(FaultError, match="loss_rate and/or capacity"):
+        FaultSchedule([LinkDegrade(at=1.0, link=(0, 1))])
+
+
+def test_schedule_rejects_bad_probabilities_and_windows():
+    with pytest.raises(FaultError):
+        FaultSchedule([LinkDegrade(at=1.0, link=(0, 1), loss_rate=1.5)])
+    with pytest.raises(FaultError):
+        FaultSchedule([ControlLoss(at=5.0, until=5.0, drop_prob=0.5)])
+    with pytest.raises(FaultError):
+        FaultSchedule([PacketLossBurst(at=2.0, until=1.0, link=(0, 1), loss_rate=0.5)])
+
+
+# --- spec parsing --------------------------------------------------------------
+
+
+def test_parse_full_spec():
+    schedule = parse_fault_spec(
+        "crash:1@20; recover:1@40; degrade:2-3@10:loss=0.5,cap=120; "
+        "restore:2-3@15; ctrl:0.5@10-30; burst:0-1@12-18:loss=0.9"
+    )
+    kinds = [type(e).__name__ for e in schedule.in_order()]
+    assert kinds == [
+        "LinkDegrade",
+        "ControlLoss",
+        "PacketLossBurst",
+        "LinkRestore",
+        "NodeCrash",
+        "NodeRecover",
+    ]
+    degrade = schedule.in_order()[0]
+    assert degrade.link == (2, 3)
+    assert degrade.loss_rate == 0.5
+    assert degrade.capacity_pps == 120.0
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        "crash:1",
+        "crash:x@5",
+        "explode:1@5",
+        "degrade:2-3@10",
+        "degrade:2-3@10:gain=2",
+        "ctrl:0.5@10",
+        "burst:2-3@10-20:cap=5",
+    ],
+)
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(FaultError):
+        parse_fault_spec(spec)
+
+
+# --- injector + per-layer behavior ---------------------------------------------
+
+
+def test_crash_and_recover_on_fluid_substrate():
+    faults = parse_fault_spec("crash:1@4;recover:1@8")
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=12.0,
+        warmup=1.0,
+        gmp_config=FAST,
+        faults=faults,
+        seed=3,
+    )
+    log = result.extras["faults"]
+    assert [entry[0] for entry in log] == [4.0, 8.0]
+    # Flow 2 sources at the crashed node: it delivers nothing while the
+    # node is down but comes back after recovery.
+    series = result.interval_rates[2]
+    assert series[5] == 0.0  # interval [5, 6): node down
+    assert sum(series[9:]) > 0.0  # recovered
+    # The audit ran strictly (fluid) and passed.
+    assert result.extras["invariants"].ok
+
+
+def test_crash_loses_queued_packets_and_accounts_them():
+    faults = parse_fault_spec("crash:1@4")
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=6.0,
+        warmup=1.0,
+        gmp_config=FAST,
+        faults=faults,
+        seed=3,
+    )
+    crash_losses = result.extras["crash_losses"]
+    assert 1 in crash_losses and sum(crash_losses[1].values()) > 0
+    assert result.extras["invariants"].ok
+
+
+def test_capacity_degrade_rejected_on_dcf():
+    faults = FaultSchedule([LinkDegrade(at=1.0, link=(1, 2), capacity_pps=50.0)])
+    with pytest.raises(FaultError, match="capacity"):
+        run_scenario(
+            figure3(), substrate="dcf", duration=5.0, warmup=1.0, faults=faults
+        )
+
+
+def test_control_loss_requires_gmp():
+    faults = FaultSchedule([ControlLoss(at=1.0, until=2.0, drop_prob=0.5)])
+    with pytest.raises(FaultError, match="GMP"):
+        run_scenario(
+            figure3(), protocol="802.11", duration=5.0, warmup=1.0, faults=faults
+        )
+
+
+def test_fault_targeting_unknown_node_rejected():
+    faults = FaultSchedule([NodeCrash(at=1.0, node=99)])
+    with pytest.raises(FaultError, match="unknown node 99"):
+        run_scenario(figure3(), substrate="fluid", duration=5.0, warmup=1.0,
+                     gmp_config=FAST, faults=faults)
+
+
+def test_control_loss_drops_requests():
+    faults = FaultSchedule([ControlLoss(at=0.0, until=30.0, drop_prob=1.0)])
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=10.0,
+        warmup=1.0,
+        gmp_config=FAST,
+        faults=faults,
+        seed=1,
+    )
+    # Every computed request was lost in transit.
+    assert result.extras["control_requests_dropped"] > 0
+    assert result.extras["requests_issued"] == 0
+
+
+def test_link_loss_burst_reduces_delivery_on_fluid():
+    base = run_scenario(
+        figure3(), protocol="gmp", substrate="fluid", duration=8.0,
+        warmup=1.0, gmp_config=FAST, seed=2,
+    )
+    lossy = run_scenario(
+        figure3(), protocol="gmp", substrate="fluid", duration=8.0,
+        warmup=1.0, gmp_config=FAST, seed=2,
+        faults=parse_fault_spec("burst:2-3@1-8:loss=0.8"),
+    )
+    # The final hop carries every flow; an 80% loss must show up.
+    assert sum(lossy.flow_rates.values()) < 0.7 * sum(base.flow_rates.values())
+    assert lossy.extras["invariants"].ok
+
+
+def test_channel_link_loss_validation():
+    sim = Simulator()
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (100.0, 0.0)])
+    channel = Channel(sim, topology)
+    with pytest.raises(MacError):
+        channel.set_link_loss(0, 1, 1.5)
+    channel.set_link_loss(0, 1, 0.25)
+    channel.set_link_loss(0, 1, 0.0)  # removes cleanly
+
+
+def test_stack_crash_guards_double_transitions():
+    faults = parse_fault_spec("crash:1@2;recover:1@3")
+    result = run_scenario(
+        figure3(), substrate="fluid", duration=4.0, warmup=1.0,
+        gmp_config=FAST, faults=faults,
+    )
+    assert result.extras["invariants"].ok
+
+
+def test_traffic_source_pause_resume_idempotent():
+    sim = Simulator()
+    flow = Flow(flow_id=1, source=0, destination=1, desired_rate=100.0)
+    admitted = []
+    source = CbrSource(sim, flow, lambda packet: admitted.append(packet) or True)
+    source.start()
+    sim.run(until=0.1)
+    count = len(admitted)
+    assert count > 0
+    source.pause()
+    source.pause()  # idempotent
+    sim.run(until=0.2)
+    assert len(admitted) == count  # nothing offered while paused
+    source.resume()
+    source.resume()  # idempotent
+    sim.run(until=0.3)
+    assert len(admitted) > count
+
+
+def test_stack_crash_recover_error_paths():
+    faults = FaultSchedule([NodeCrash(at=1.0, node=1)])
+    result = run_scenario(
+        figure3(), substrate="fluid", duration=2.0, warmup=0.5,
+        gmp_config=FAST, faults=faults,
+    )
+    assert result.extras["invariants"].ok
+
+
+# --- invariant audit ------------------------------------------------------------
+
+
+def test_invariant_audit_balances_on_clean_fluid_run():
+    result = run_scenario(
+        figure3(), protocol="gmp", substrate="fluid", duration=6.0,
+        warmup=1.0, gmp_config=FAST, check_invariants=True,
+    )
+    report = result.extras["invariants"]
+    assert report.ok
+    for audit in report.flows.values():
+        assert audit.residual == 0
+        assert audit.injected > 0
+
+
+def test_invariant_audit_detects_imbalance():
+    result = run_scenario(
+        figure3(), protocol="gmp", substrate="fluid", duration=4.0,
+        warmup=1.0, gmp_config=FAST,
+    )
+    report = result.extras["invariants"]
+    assert report.ok
+    # Sabotage one ledger: the report must notice and check() must raise.
+    report.flows[1].delivered += 7
+    assert not report.ok
+    assert any("residual" in text for text in report.violations())
+    with pytest.raises(InvariantError, match="flow 1"):
+        report.check()
+
+
+def test_invariant_audit_relaxed_on_dcf():
+    result = run_scenario(
+        figure3(), protocol="802.11", substrate="dcf", duration=3.0,
+        warmup=1.0,
+    )
+    report = result.extras["invariants"]
+    assert report.strict is False
+    assert report.ok  # sign checks still apply
+
+
+def test_gmp_protocol_control_loss_validation():
+    faults = FaultSchedule([ControlLoss(at=0.0, until=1.0, drop_prob=0.5)])
+    # drop_prob range is validated at the schedule layer already;
+    # exercise the protocol-level guard directly.
+    result = run_scenario(
+        figure3(), substrate="fluid", duration=2.0, warmup=0.5,
+        gmp_config=FAST, faults=faults,
+    )
+    assert result.extras["invariants"].ok
+
+
+def test_double_crash_without_recover_is_schedule_error():
+    with pytest.raises(FaultError):
+        FaultSchedule(
+            [NodeCrash(at=1.0, node=1), NodeCrash(at=2.0, node=1)]
+        )
+
+
+def test_protocol_rejects_unknown_node_notifications():
+    from repro.core.protocol import GmpProtocol  # noqa: F401  (API presence)
+
+    faults = FaultSchedule([NodeCrash(at=0.5, node=2), NodeRecover(at=1.0, node=2)])
+    result = run_scenario(
+        figure3(), substrate="fluid", duration=2.0, warmup=0.5,
+        gmp_config=FAST, faults=faults,
+    )
+    assert [text for _t, text in result.extras["faults"]]
+
+
+def test_interval_rates_cover_whole_run():
+    result = run_scenario(
+        figure3(), substrate="fluid", duration=6.0, warmup=1.0,
+        gmp_config=FAST, rate_interval=1.0,
+    )
+    assert result.rate_interval == 1.0
+    for series in result.interval_rates.values():
+        assert len(series) == 6
+
+
+def test_stack_crash_twice_raises():
+    from repro.buffers.backpressure import OracleGate
+    from repro.buffers.queues import PerDestinationBuffer
+    from repro.mac.fluid import FluidMac
+    from repro.stack import NodeStack
+
+    sim = Simulator()
+    topology = Topology()
+    topology.add_nodes([(0.0, 0.0), (100.0, 0.0)])
+    mac = FluidMac(sim, topology)
+    gate = OracleGate(lambda neighbor, dest: True)
+    stack = NodeStack(
+        sim, 0,
+        PerDestinationBuffer(0, lambda dest: dest, gate),
+        mac,
+    )
+    stack.attach()
+    stack.crash()
+    with pytest.raises(ProtocolError):
+        stack.crash()
+    stack.recover()
+    with pytest.raises(ProtocolError):
+        stack.recover()

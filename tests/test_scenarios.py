@@ -6,7 +6,6 @@ from repro.core.config import GmpConfig
 from repro.errors import ConfigError
 from repro.routing.link_state import link_state_routes
 from repro.scenarios.figures import figure1, figure2, figure3, figure4
-from repro.scenarios.results import RunResult
 from repro.scenarios.runner import run_scenario
 from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph

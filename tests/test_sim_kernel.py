@@ -140,3 +140,141 @@ def test_periodic_rejects_bad_interval():
     sim = Simulator()
     with pytest.raises(SimulationError):
         sim.every(0.0, lambda: None)
+
+
+# --- watchdogs ---------------------------------------------------------------
+
+
+def test_stall_detector_catches_zero_delay_loop_and_names_tag():
+    sim = Simulator()
+
+    def reschedule():
+        sim.call_later(0.0, reschedule, tag="mac.retry")
+
+    sim.call_later(1.0, reschedule, tag="mac.retry")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(until=10.0, stall_limit=500)
+    message = str(excinfo.value)
+    assert "stalled" in message
+    assert "mac.retry" in message
+    assert "t=1" in message
+
+
+def test_stall_detector_tolerates_bursts_below_limit():
+    sim = Simulator()
+    seen = []
+    # 50 events at the same instant, then the clock advances: no trip.
+    for _ in range(50):
+        sim.call_later(1.0, lambda: seen.append(sim.now))
+    sim.call_later(2.0, lambda: seen.append(sim.now))
+    sim.run(until=3.0, stall_limit=100)
+    assert len(seen) == 51
+
+
+def test_stall_counter_resets_when_clock_advances():
+    sim = Simulator()
+    # 30 events at each of many distinct times; limit of 40 never trips.
+    for step in range(1, 6):
+        for _ in range(30):
+            sim.call_later(float(step), lambda: None)
+    assert sim.run(until=10.0, stall_limit=40) == 10.0
+
+
+def test_wall_deadline_trips_on_event_storm():
+    sim = Simulator()
+
+    def reschedule():
+        sim.call_later(1e-9, reschedule)
+
+    sim.call_later(0.0, reschedule)
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(until=1e6, wall_deadline=0.05)
+    assert "wall-clock deadline" in str(excinfo.value)
+
+
+def test_watchdog_parameters_validated():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0, stall_limit=0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0, wall_deadline=0.0)
+
+
+def test_kernel_usable_after_watchdog_trip():
+    sim = Simulator()
+
+    def reschedule():
+        sim.call_later(0.0, reschedule, tag="loop")
+
+    sim.call_later(1.0, reschedule, tag="loop")
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0, stall_limit=50)
+    # The kernel is left in a defined state: clock at the failing
+    # event's time and run() callable again.
+    seen = []
+    sim.call_later(5.0, lambda: seen.append(sim.now))
+    sim.run(until=sim.now + 5.0, stall_limit=None, max_events=sim.events_processed + 60)
+    assert seen == [6.0]
+
+
+# --- Timer edge cases --------------------------------------------------------
+
+
+def test_timer_cancel_then_start_rearms_cleanly():
+    sim = Simulator()
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.cancel()
+    assert not timer.pending
+    timer.start(2.0)
+    assert timer.pending
+    assert timer.expires_at == 2.0
+    sim.run(until=5.0)
+    assert fired == [2.0]
+
+
+def test_timer_start_while_pending_replaces_expiry():
+    sim = Simulator()
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.start(3.0)  # replaces, never fires at 1.0
+    sim.run(until=5.0)
+    assert fired == [3.0]
+
+
+def test_timer_rearming_itself_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def on_fire():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.start(1.0)
+
+    timer = sim.timer(on_fire)
+    timer.start(1.0)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0, 3.0]
+    assert not timer.pending
+
+
+def test_timer_callback_exception_leaves_kernel_defined():
+    sim = Simulator()
+
+    def explode():
+        raise RuntimeError("boom")
+
+    timer = sim.timer(explode)
+    timer.start(1.0)
+    with pytest.raises(RuntimeError):
+        sim.run(until=5.0)
+    # Clock stopped at the failing event; the timer is disarmed; the
+    # kernel accepts new work.
+    assert sim.now == 1.0
+    assert not timer.pending
+    seen = []
+    sim.call_later(1.0, lambda: seen.append(sim.now))
+    sim.run(until=5.0)
+    assert seen == [2.0]

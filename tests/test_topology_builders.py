@@ -87,11 +87,29 @@ def test_random_topology_connected_by_default():
     assert len(seen) == len(topology)
 
 
-def test_random_topology_impossible_density_raises():
-    with pytest.raises(TopologyError):
-        random_topology(
-            30, width=100_000.0, height=100_000.0, seed=0, max_attempts=3
-        )
+def test_random_topology_sparse_density_densifies_until_connected():
+    # Far below the connectivity threshold no redraw can connect 30
+    # nodes at tx_range 250 in a 100 km square; the builder grows the
+    # ranges (preserving their ratio) until a placement connects.
+    topology = random_topology(
+        30, width=100_000.0, height=100_000.0, seed=0, max_attempts=3
+    )
+    assert topology.tx_range > 250.0
+    assert topology.cs_range == pytest.approx(topology.tx_range * (550.0 / 250.0))
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        for neighbor in topology.neighbors(frontier.pop()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert len(seen) == len(topology)
+
+
+def test_random_topology_dense_request_keeps_requested_ranges():
+    topology = random_topology(15, width=800.0, height=800.0, seed=1)
+    assert topology.tx_range == 250.0
+    assert topology.cs_range == 550.0
 
 
 def test_random_topology_rejects_zero_nodes():
