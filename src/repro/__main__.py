@@ -10,9 +10,15 @@ Examples::
     python -m repro figure4 --protocol 802.11 --substrate dcf
     python -m repro figure3 --substrate fluid \
         --faults "crash:1@20;recover:1@40" --rate-interval 1
+    python -m repro figure3 --substrate fluid --profile \
+        --metrics-out m.jsonl --trace-out t.json
 
 Fault specs (``--faults``) are semicolon-separated events; see
-:mod:`repro.faults.spec` for the grammar.
+:mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
+``--trace-out`` / ``--profile`` turn on the telemetry subsystem
+(:mod:`repro.telemetry`); the trace JSON loads in Perfetto or
+``about:tracing``, and GMP runs additionally print the convergence
+narrative from :mod:`repro.analysis.inspector`.
 """
 
 from __future__ import annotations
@@ -20,11 +26,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.inspector import inspect_run
 from repro.core.config import GmpConfig
 from repro.errors import ReproError
 from repro.faults.spec import parse_fault_spec
 from repro.scenarios.figures import figure1, figure2, figure3, figure4
 from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
+from repro.sim.trace import TraceCollector
+from repro.telemetry import Telemetry
+from repro.telemetry.exporters import (
+    format_summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
 
 
 def _build_scenario(args: argparse.Namespace):
@@ -86,7 +100,45 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="kernel watchdog: real seconds the run may take",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write telemetry metrics + events as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (Perfetto-loadable) to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the kernel (per-tag wall time, events/sec) and "
+        "print the telemetry summary",
+    )
+    parser.add_argument(
+        "--trace-categories",
+        default=None,
+        metavar="CATS",
+        help="enable the structured trace collector for these comma-"
+        'separated categories (suffix * for prefixes, e.g. "mac.*,gmp.adjust")',
+    )
     args = parser.parse_args(argv)
+
+    telemetry_on = bool(args.metrics_out or args.trace_out or args.profile)
+    telemetry = (
+        Telemetry(enabled=True, profile=args.profile) if telemetry_on else None
+    )
+    trace = None
+    if args.trace_categories is not None:
+        categories = [
+            part.strip() for part in args.trace_categories.split(",") if part.strip()
+        ]
+        trace = TraceCollector(
+            enabled=True, categories=categories or None, limit=200_000
+        )
 
     try:
         scenario = _build_scenario(args)
@@ -104,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
             max_events=args.max_events,
             stall_limit=args.stall_limit,
             wall_deadline=args.wall_deadline,
+            telemetry=telemetry,
+            trace=trace,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -119,6 +173,28 @@ def main(argv: list[str] | None = None) -> int:
     if "faults" in result.extras:
         for when, text in result.extras["faults"]:
             print(f"fault @ t={when:.3f}s: {text}")
+
+    if telemetry is not None:
+        if args.metrics_out:
+            lines = write_metrics_jsonl(args.metrics_out, telemetry)
+            print(f"metrics: {lines} JSONL records -> {args.metrics_out}")
+        if args.trace_out:
+            events = write_chrome_trace(args.trace_out, telemetry, trace=trace)
+            print(
+                f"trace: {events} events -> {args.trace_out} "
+                "(load in https://ui.perfetto.dev)"
+            )
+        if args.profile:
+            print()
+            print(format_summary(telemetry))
+        if "maxmin_reference" in result.extras:
+            print()
+            print(inspect_run(result).narrative())
+    if trace is not None:
+        note = f"structured trace: {len(trace)} records"
+        if trace.dropped:
+            note += f" ({trace.dropped} dropped at the limit)"
+        print(note)
     return 0
 
 

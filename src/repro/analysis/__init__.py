@@ -11,6 +11,13 @@ from repro.analysis.fairness import (
 from repro.analysis.maxmin_reference import MaxminSolution, weighted_maxmin_rates
 from repro.analysis.throughput import effective_network_throughput
 from repro.analysis.convergence import convergence_time, oscillation_amplitude
+from repro.analysis.inspector import (
+    AdjustmentAttribution,
+    ConvergenceReport,
+    FlowConvergence,
+    inspect_convergence,
+    inspect_run,
+)
 from repro.analysis.report import format_table
 from repro.analysis.resilience import (
     TransientMetrics,
@@ -31,6 +38,11 @@ __all__ = [
     "effective_network_throughput",
     "convergence_time",
     "oscillation_amplitude",
+    "AdjustmentAttribution",
+    "ConvergenceReport",
+    "FlowConvergence",
+    "inspect_convergence",
+    "inspect_run",
     "format_table",
     "TransientMetrics",
     "evaluate_transient",

@@ -1,0 +1,266 @@
+"""Convergence inspector: turns run telemetry into a narrative.
+
+Answers the two questions the end-of-run tables cannot:
+
+* **when** did each flow's measured rate enter (and stay inside) a
+  tolerance band around its centralized maxmin reference; and
+* **which** link-condition transition (unsaturated → buffer-saturated
+  → bandwidth-saturated) drove each GMP rate adjustment.
+
+Inputs are the ``gmp.flow_rate`` series and the ``gmp.adjust`` /
+``gmp.condition_change`` / ``gmp.violation`` events the protocol
+records, plus the maxmin reference the runner solves; a GMP run made
+with a :class:`~repro.telemetry.Telemetry` instance carries everything
+needed in ``RunResult.extras``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.telemetry import Telemetry
+
+#: Default tolerance band around the maxmin reference (±5%).
+DEFAULT_BAND = 0.05
+
+
+@dataclass(frozen=True)
+class FlowConvergence:
+    """Band-entry verdict for one flow.
+
+    Attributes:
+        flow_id: the flow.
+        reference: its centralized maxmin rate (packets/second).
+        entered_at: first time from which every later rate sample stays
+            within the band, or None if the flow never settled.
+        final_rate: last measured rate sample.
+        closest_off: smallest relative distance to the reference over
+            the trajectory (diagnostic for never-settled flows).
+    """
+
+    flow_id: int
+    reference: float
+    entered_at: float | None
+    final_rate: float | None
+    closest_off: float
+
+
+@dataclass(frozen=True)
+class AdjustmentAttribution:
+    """One applied rate adjustment joined to its likely trigger."""
+
+    time: float
+    flow_id: int
+    kind: str  # "increase" | "decrease"
+    reason: str  # "source" | "buffer" | "bandwidth"
+    origin: int  # node that issued the winning request
+    multiplier: float
+    old_limit: float | None
+    new_limit: float | None
+    trigger: str | None  # human-readable condition transition
+    trigger_time: float | None
+
+
+@dataclass
+class ConvergenceReport:
+    """The inspector's full output; render with :meth:`narrative`."""
+
+    band: float
+    flows: list[FlowConvergence]
+    adjustments: list[AdjustmentAttribution]
+
+    def narrative(self, *, max_adjustments: int = 20) -> str:
+        """Human-readable convergence story."""
+        lines = [f"convergence narrative (±{self.band * 100:g}% of maxmin reference)"]
+        for verdict in self.flows:
+            head = f"  flow {verdict.flow_id}: ref {verdict.reference:.2f} pkt/s"
+            if verdict.reference <= 0:
+                lines.append(f"{head} — reference is zero; band undefined")
+            elif verdict.entered_at is not None:
+                final = (
+                    f" (final {verdict.final_rate:.2f})"
+                    if verdict.final_rate is not None
+                    else ""
+                )
+                lines.append(f"{head} — entered band at t={verdict.entered_at:.1f}s{final}")
+            else:
+                lines.append(
+                    f"{head} — never settled "
+                    f"(closest {verdict.closest_off * 100:.0f}% off)"
+                )
+        lines.append(f"rate adjustments applied: {len(self.adjustments)}")
+        for adjustment in self.adjustments[:max_adjustments]:
+            entry = (
+                f"  t={adjustment.time:6.1f}s flow {adjustment.flow_id} "
+                f"{adjustment.kind} x{adjustment.multiplier:.2f} "
+                f"({adjustment.reason} condition at node {adjustment.origin})"
+            )
+            if adjustment.trigger is not None:
+                entry += f" — after {adjustment.trigger}"
+            lines.append(entry)
+        hidden = len(self.adjustments) - max_adjustments
+        if hidden > 0:
+            lines.append(f"  (+{hidden} more adjustments)")
+        return "\n".join(lines)
+
+
+def _flow_verdict(
+    flow_id: int,
+    reference: float,
+    times: list[float],
+    values: list[float],
+    *,
+    band: float,
+    hold: int,
+) -> FlowConvergence:
+    final_rate = values[-1] if values else None
+    if reference <= 0 or not values:
+        return FlowConvergence(
+            flow_id=flow_id,
+            reference=reference,
+            entered_at=None,
+            final_rate=final_rate,
+            closest_off=float("inf"),
+        )
+    off = [abs(value - reference) / reference for value in values]
+    closest = min(off)
+    # Last sample outside the band decides entry: the flow "entered"
+    # right after it, provided at least `hold` in-band samples follow.
+    last_out = -1
+    for index, distance in enumerate(off):
+        if distance > band:
+            last_out = index
+    entered_index = last_out + 1
+    entered_at = (
+        times[entered_index] if len(values) - entered_index >= hold else None
+    )
+    return FlowConvergence(
+        flow_id=flow_id,
+        reference=reference,
+        entered_at=entered_at,
+        final_rate=final_rate,
+        closest_off=closest,
+    )
+
+
+def _attribute(telemetry: Telemetry) -> list[AdjustmentAttribution]:
+    conditions = telemetry.events_in("gmp.condition_change")
+    violations = telemetry.events_in("gmp.violation")
+    attributions: list[AdjustmentAttribution] = []
+    for event in telemetry.events_in("gmp.adjust"):
+        origin = event.fields.get("origin")
+        reason = str(event.fields.get("reason", "?"))
+        trigger: str | None = None
+        trigger_time: float | None = None
+        if reason == "bandwidth":
+            # Bandwidth responses are driven by a persistent clique
+            # occupancy violation, not a single state flip.
+            for violation in violations:
+                if violation.time > event.time:
+                    break
+                trigger = (
+                    f"bandwidth violation on link "
+                    f"{violation.fields.get('link')} "
+                    f"(streak {violation.fields.get('streak')})"
+                )
+                trigger_time = violation.time
+        else:
+            # Most recent condition transition at the issuing node.
+            for change in conditions:
+                if change.time > event.time:
+                    break
+                link = str(change.fields.get("link", ""))
+                endpoints = link.split("->") if "->" in link else []
+                if str(origin) not in endpoints:
+                    continue
+                trigger = (
+                    f"link {link} (dest {change.fields.get('dest')}) went "
+                    f"{change.fields.get('old')} -> {change.fields.get('new')} "
+                    f"at t={change.time:.1f}s"
+                )
+                trigger_time = change.time
+        attributions.append(
+            AdjustmentAttribution(
+                time=event.time,
+                flow_id=int(event.fields.get("flow", -1)),
+                kind=str(event.fields.get("kind", "?")),
+                reason=reason,
+                origin=int(origin) if origin is not None else -1,
+                multiplier=float(event.fields.get("multiplier", 0.0)),
+                old_limit=event.fields.get("old_limit"),
+                new_limit=event.fields.get("new_limit"),
+                trigger=trigger,
+                trigger_time=trigger_time,
+            )
+        )
+    return attributions
+
+
+def inspect_convergence(
+    telemetry: Telemetry,
+    reference: dict[int, float],
+    *,
+    band: float = DEFAULT_BAND,
+    hold: int = 3,
+) -> ConvergenceReport:
+    """Build the convergence report from telemetry + reference rates.
+
+    Args:
+        telemetry: an *enabled* instance that accumulated a GMP run.
+        reference: centralized maxmin rate per flow.
+        band: relative tolerance around the reference (0.05 = ±5%).
+        hold: minimum in-band trailing samples for a flow to count as
+            settled (guards against a lucky last sample).
+
+    Raises:
+        AnalysisError: on a disabled telemetry instance or bad band.
+    """
+    if not telemetry.enabled:
+        raise AnalysisError("telemetry was disabled; nothing to inspect")
+    if not 0 < band < 1:
+        raise AnalysisError(f"band must be in (0, 1): {band}")
+    if hold < 1:
+        raise AnalysisError(f"hold must be >= 1: {hold}")
+
+    series_by_flow: dict[int, tuple[list[float], list[float]]] = {}
+    for instrument in telemetry.registry.instruments("gmp.flow_rate"):
+        flow_id = instrument.labels.get("flow")
+        if flow_id is None:
+            continue
+        series_by_flow[int(flow_id)] = (
+            list(instrument.times),
+            list(instrument.values),
+        )
+
+    flows = [
+        _flow_verdict(
+            flow_id,
+            float(target),
+            *series_by_flow.get(flow_id, ([], [])),
+            band=band,
+            hold=hold,
+        )
+        for flow_id, target in sorted(reference.items())
+    ]
+    return ConvergenceReport(
+        band=band, flows=flows, adjustments=_attribute(telemetry)
+    )
+
+
+def inspect_run(result, *, band: float = DEFAULT_BAND, hold: int = 3) -> ConvergenceReport:
+    """Convergence report straight from a GMP :class:`RunResult`.
+
+    Raises:
+        AnalysisError: if the run carried no telemetry or no maxmin
+            reference (run with a Telemetry instance and protocol
+            "gmp").
+    """
+    telemetry = result.extras.get("telemetry")
+    reference = result.extras.get("maxmin_reference")
+    if telemetry is None or reference is None:
+        raise AnalysisError(
+            "run carries no telemetry/maxmin reference; pass telemetry= "
+            "to run_scenario with protocol='gmp'"
+        )
+    return inspect_convergence(telemetry, reference, band=band, hold=hold)

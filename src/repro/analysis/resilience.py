@@ -61,6 +61,27 @@ def _check_series(
     return min(len(series) for series in interval_rates.values())
 
 
+def _window_edges(
+    count: int, interval: float, bounds: list[float] | None
+) -> list[float]:
+    """Edge times of the first ``count`` windows: ``edges[j]`` /
+    ``edges[j+1]`` bracket sample ``j``.
+
+    Without explicit bounds every window is assumed ``interval`` wide —
+    which overstates the final window when the run ended mid-window.
+    Runs recorded through :func:`~repro.scenarios.runner.run_scenario`
+    carry the true edges in ``RunResult.interval_bounds``; pass them to
+    weight the partial tail correctly.
+    """
+    if bounds:
+        if len(bounds) < count:
+            raise AnalysisError(
+                f"interval_bounds has {len(bounds)} edges for {count} samples"
+            )
+        return [0.0] + [float(b) for b in bounds[:count]]
+    return [index * interval for index in range(count + 1)]
+
+
 def reconvergence_time(
     interval_rates: dict[int, list[float]],
     interval: float,
@@ -70,13 +91,16 @@ def reconvergence_time(
     epsilon: float = 0.1,
     atol: float = 0.0,
     hold: int = 3,
+    bounds: list[float] | None = None,
 ) -> float | None:
     """Seconds from the fault until every referenced flow's rate stays
     within ``epsilon`` (relative) + ``atol`` (absolute) of its
     reference for ``hold`` consecutive samples.
 
-    Sample ``j`` of each series covers ``[j*interval, (j+1)*interval)``.
-    Returns None when the series never settles.
+    Sample ``j`` covers ``[bounds[j-1], bounds[j])`` when ``bounds``
+    (the run's ``interval_bounds``) is given, else
+    ``[j*interval, (j+1)*interval)``.  Returns None when the series
+    never settles.
 
     Raises:
         AnalysisError: on empty series, bad interval, or a referenced
@@ -90,6 +114,7 @@ def reconvergence_time(
     missing = [flow_id for flow_id in reference if flow_id not in interval_rates]
     if missing:
         raise AnalysisError(f"no rate series for flows {missing}")
+    edges = _window_edges(count, interval, bounds)
 
     def in_band(index: int) -> bool:
         for flow_id, target in reference.items():
@@ -98,13 +123,14 @@ def reconvergence_time(
                 return False
         return True
 
-    first = max(0, math.ceil(fault_time / interval - 1e-9))
     streak = 0
-    for index in range(first, count):
+    for index in range(count):
+        if edges[index] < fault_time - 1e-9:
+            continue  # window starts before the fault
         streak = streak + 1 if in_band(index) else 0
         if streak >= hold:
             settled_index = index - hold + 1
-            return (settled_index + 1) * interval - fault_time
+            return edges[settled_index + 1] - fault_time
     return None
 
 
@@ -115,23 +141,27 @@ def goodput_lost(
     reference: dict[int, float],
     start: float,
     end: float,
+    bounds: list[float] | None = None,
 ) -> float:
     """Packets of goodput lost versus ``reference`` over ``[start, end)``.
 
     Only shortfalls count: a flow transiently exceeding its reference
-    does not pay back another flow's loss.
+    does not pay back another flow's loss.  Pass the run's
+    ``interval_bounds`` as ``bounds`` so a partial final window is
+    weighted by its true width.
     """
     if end < start:
         raise AnalysisError(f"empty window [{start}, {end})")
     count = _check_series(interval_rates, interval)
+    edges = _window_edges(count, interval, bounds)
     lost = 0.0
     for flow_id, target in reference.items():
         series = interval_rates.get(flow_id)
         if series is None:
             raise AnalysisError(f"no rate series for flow {flow_id}")
         for index in range(count):
-            lo = index * interval
-            hi = lo + interval
+            lo = edges[index]
+            hi = edges[index + 1]
             overlap = min(hi, end) - max(lo, start)
             if overlap <= 0:
                 continue
@@ -146,9 +176,11 @@ def min_rate_dip(
     start: float,
     end: float | None = None,
     flow_ids: list[int] | None = None,
+    bounds: list[float] | None = None,
 ) -> float:
     """Worst per-interval rate any selected flow hit in the window."""
     count = _check_series(interval_rates, interval)
+    edges = _window_edges(count, interval, bounds)
     selected = flow_ids if flow_ids is not None else sorted(interval_rates)
     worst = math.inf
     for flow_id in selected:
@@ -156,8 +188,8 @@ def min_rate_dip(
         if series is None:
             raise AnalysisError(f"no rate series for flow {flow_id}")
         for index in range(count):
-            lo = index * interval
-            hi = lo + interval
+            lo = edges[index]
+            hi = edges[index + 1]
             if hi <= start or (end is not None and lo >= end):
                 continue
             worst = min(worst, series[index])
@@ -188,6 +220,9 @@ def evaluate_transient(
             "result has no per-interval rate series; run the scenario "
             "with rate_interval set"
         )
+    bounds = list(getattr(result, "interval_bounds", None) or [])
+    count = min(len(s) for s in series.values())
+    edges = _window_edges(count, interval, bounds)
     settle = reconvergence_time(
         series,
         interval,
@@ -196,15 +231,17 @@ def evaluate_transient(
         epsilon=epsilon,
         atol=atol,
         hold=hold,
+        bounds=bounds,
     )
     reconverged_at = None if settle is None else fault_time + settle
-    window_end = (
-        reconverged_at
-        if reconverged_at is not None
-        else min(len(s) for s in series.values()) * interval
-    )
+    window_end = reconverged_at if reconverged_at is not None else edges[-1]
     lost = goodput_lost(
-        series, interval, reference=reference, start=fault_time, end=window_end
+        series,
+        interval,
+        reference=reference,
+        start=fault_time,
+        end=window_end,
+        bounds=bounds,
     )
     dip = min_rate_dip(
         series,
@@ -212,6 +249,7 @@ def evaluate_transient(
         start=fault_time,
         end=window_end if window_end > fault_time else None,
         flow_ids=sorted(reference),
+        bounds=bounds,
     )
     return TransientMetrics(
         fault_time=fault_time,

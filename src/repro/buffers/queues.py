@@ -363,6 +363,12 @@ class PerDestinationBuffer(BufferPolicy):
       downstream queue for that destination has free space.
 
     Each queue owns a :class:`FullnessMeter`; GMP reads Ω from it.
+
+    When a :class:`~repro.telemetry.Telemetry` instance is supplied,
+    each queue additionally records its length trajectory
+    (``buffer.queue_len``) and full/not-full dwell time
+    (``buffer.fullness``); both piggyback on the meter updates the
+    policy already performs, so no extra events are scheduled.
     """
 
     def __init__(
@@ -373,6 +379,7 @@ class PerDestinationBuffer(BufferPolicy):
         *,
         per_dest_capacity: int = 10,
         start_time: float = 0.0,
+        telemetry=None,
     ) -> None:
         super().__init__(node_id, next_hop)
         if per_dest_capacity < 1:
@@ -383,6 +390,9 @@ class PerDestinationBuffer(BufferPolicy):
         self._meters: dict[int, FullnessMeter] = {}
         self._last_dest: int | None = None
         self._start_time = start_time
+        self._tm = telemetry if telemetry is not None and telemetry.enabled else None
+        self._len_series: dict[int, object] = {}
+        self._full_hists: dict[int, object] = {}
 
     # --- queue bookkeeping -------------------------------------------------------
 
@@ -393,8 +403,21 @@ class PerDestinationBuffer(BufferPolicy):
         return self._queues[dest]
 
     def _update_meter(self, dest: int, now: float) -> None:
-        meter = self._meters[dest]
-        meter.set_full(now, len(self._queues[dest]) >= self.per_dest_capacity)
+        length = len(self._queues[dest])
+        full = length >= self.per_dest_capacity
+        self._meters[dest].set_full(now, full)
+        if self._tm is not None:
+            series = self._len_series.get(dest)
+            if series is None:
+                series = self._tm.registry.series(
+                    "buffer.queue_len", node=self.node_id, dest=dest
+                )
+                self._len_series[dest] = series
+                self._full_hists[dest] = self._tm.registry.histogram(
+                    "buffer.fullness", (0.5,), node=self.node_id, dest=dest
+                )
+            series.record_changed(now, length)
+            self._full_hists[dest].update(now, 1.0 if full else 0.0)
 
     def served_destinations(self) -> list[int]:
         """Destinations with an instantiated queue, sorted."""

@@ -155,6 +155,10 @@ class GmpProtocol:
         self.control_requests_dropped = 0
         self.stale_overrides = 0  # (node, dest) saturations vetoed for staleness
 
+        # Telemetry (None when the subsystem is disabled).
+        self._tm = sim.telemetry if sim.telemetry.enabled else None
+        self._last_condition: dict[tuple[Link, int], LinkType] = {}
+
     # --- wiring ------------------------------------------------------------------
 
     def observer(self) -> _Observer:
@@ -331,6 +335,9 @@ class GmpProtocol:
         ):
             requests.setdefault(request.flow_id, []).append(request)
 
+        if self._tm is not None:
+            self._record_boundary(now, period, types_by_vlink, requests)
+
         # Control-plane latency: requests computed this period take
         # effect `control_delay_periods` boundaries later (0 = now).
         self._pending_adjustments.append(requests)
@@ -344,6 +351,59 @@ class GmpProtocol:
             state.admitted_snapshot_mid = state.traffic.admitted
             state.limit_history.append(state.traffic.rate_limit)
         self.periods_completed += 1
+
+    # --- telemetry ---------------------------------------------------------------------
+
+    def _record_boundary(
+        self,
+        now: float,
+        period: float,
+        types_by_vlink: dict[tuple[Link, int], LinkType],
+        requests: dict[int, list[RateRequest]],
+    ) -> None:
+        """Record per-period telemetry (enabled runs only): flow rate /
+        μ / limit trajectories, link-condition dwell and transitions,
+        and the requests computed this period."""
+        assert self._tm is not None
+        registry = self._tm.registry
+        for flow_id, state in sorted(self._sources.items()):
+            if state.rate is not None:
+                registry.series("gmp.flow_rate", flow=flow_id).record(
+                    now, state.rate
+                )
+            if state.mu is not None:
+                registry.series("gmp.flow_mu", flow=flow_id).record(now, state.mu)
+            limit = state.traffic.rate_limit
+            if limit is not None:
+                registry.series("gmp.flow_limit", flow=flow_id).record_changed(
+                    now, limit
+                )
+        for (a_link, dest), link_type in types_by_vlink.items():
+            label = f"{a_link[0]}->{a_link[1]}"
+            registry.counter(
+                "gmp.condition_seconds",
+                link=label,
+                dest=dest,
+                state=link_type.name.lower(),
+            ).inc(period)
+            previous = self._last_condition.get((a_link, dest))
+            if previous is not link_type:
+                self._tm.event(
+                    now,
+                    "gmp.condition_change",
+                    link=label,
+                    dest=dest,
+                    old=previous.name.lower() if previous else "none",
+                    new=link_type.name.lower(),
+                )
+                self._last_condition[(a_link, dest)] = link_type
+        for flow_requests in requests.values():
+            for request in flow_requests:
+                registry.counter(
+                    "gmp.requests",
+                    kind=request.kind.name.lower(),
+                    reason=request.reason,
+                ).inc()
 
     # --- measurement helpers -----------------------------------------------------------
 
@@ -608,6 +668,13 @@ class GmpProtocol:
                 violations.append(violation)
                 self.violations_found += 1
                 self.scope.record_notice(a_link[0])
+                if self._tm is not None:
+                    self._tm.event(
+                        self.sim.now,
+                        "gmp.violation",
+                        link=f"{a_link[0]}->{a_link[1]}",
+                        streak=streak,
+                    )
 
         for violation in violations:
             audience = self.scope.audience_of_link(violation.origin_link)
@@ -681,6 +748,13 @@ class GmpProtocol:
             ):
                 traffic.set_rate_limit(None)
                 state.below_limit_periods = 0
+                if self._tm is not None:
+                    self._tm.event(
+                        self.sim.now,
+                        "gmp.limit_removed",
+                        flow=flow_id,
+                        old_limit=limit,
+                    )
                 limit = None
 
             chosen = aggregate_requests(requests.get(flow_id, []))
@@ -690,6 +764,11 @@ class GmpProtocol:
                 # this period (the rate-limit condition below still
                 # runs on purely local knowledge).
                 self.control_requests_dropped += 1
+                if self._tm is not None:
+                    self._tm.registry.counter("gmp.requests_dropped").inc()
+                    self._tm.event(
+                        self.sim.now, "gmp.request_dropped", flow=flow_id
+                    )
                 chosen = None
             if chosen is not None:
                 self.requests_issued.append(chosen)
@@ -704,10 +783,20 @@ class GmpProtocol:
                     or state.rate >= traffic.rate_limit * (1.0 - 2.0 * beta)
                 )
                 if traffic.rate_limit is not None and achieving:
+                    old_limit = traffic.rate_limit
                     traffic.set_rate_limit(
                         traffic.rate_limit + self.config.additive_increase
                     )
+                    if self._tm is not None:
+                        self._tm.event(
+                            self.sim.now,
+                            "gmp.limit_probe",
+                            flow=flow_id,
+                            old_limit=old_limit,
+                            new_limit=traffic.rate_limit,
+                        )
                 continue
+            old_limit = traffic.rate_limit
             if chosen.kind is RequestKind.DECREASE:
                 base = state.rate
                 if base is None:
@@ -726,6 +815,21 @@ class GmpProtocol:
                             traffic.rate_limit * chosen.multiplier,
                         )
                     )
+            if self._tm is not None:
+                self._tm.registry.counter(
+                    "gmp.requests_applied", kind=chosen.kind.name.lower()
+                ).inc()
+                self._tm.event(
+                    self.sim.now,
+                    "gmp.adjust",
+                    flow=flow_id,
+                    kind=chosen.kind.name.lower(),
+                    reason=chosen.reason,
+                    origin=chosen.origin,
+                    multiplier=chosen.multiplier,
+                    old_limit=old_limit,
+                    new_limit=traffic.rate_limit,
+                )
 
     # --- introspection ----------------------------------------------------------------
 

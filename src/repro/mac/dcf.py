@@ -116,6 +116,11 @@ class _DcfNode:
         )
         self._last_busy_start = -1.0
 
+        # Telemetry: resolved once at construction so the hot paths pay
+        # a single None check when the subsystem is disabled.
+        self._tm = sim.telemetry if sim.telemetry.enabled else None
+        self._airtime_counters: dict[Link, object] = {}
+
         # Measurement accumulators and statistics.
         self.occupancy: dict[Link, float] = {}
         self.busy_accum = 0.0
@@ -136,6 +141,14 @@ class _DcfNode:
 
     def _add_occupancy(self, a_link: Link, duration: float) -> None:
         self.occupancy[a_link] = self.occupancy.get(a_link, 0.0) + duration
+        if self._tm is not None:
+            counter = self._airtime_counters.get(a_link)
+            if counter is None:
+                counter = self._tm.registry.counter(
+                    "mac.airtime_seconds", link=f"{a_link[0]}->{a_link[1]}"
+                )
+                self._airtime_counters[a_link] = counter
+            counter.inc(duration)
 
     def _update_busy_meter(self) -> None:
         """Track time with perceivable channel activity (sensed energy
@@ -212,6 +225,10 @@ class _DcfNode:
             self._backoff_slots = max(0, self._backoff_slots - completed)
             self._backoff_timer.cancel()
             self._state = _State.IDLE
+            if self._tm is not None:
+                self._tm.registry.counter(
+                    "mac.backoff_stalls", node=self.node_id
+                ).inc()
 
     def _transmit_current(self) -> None:
         if self._bcast_queue:
@@ -271,6 +288,10 @@ class _DcfNode:
         if self.down:
             return
         self._use_eifs = True
+        if self._tm is not None:
+            self._tm.registry.counter(
+                "mac.corrupted_frames", node=self.node_id
+            ).inc()
 
     def on_frame_received(self, frame: Frame) -> None:
         if self.down:
@@ -441,6 +462,10 @@ class _DcfNode:
         if self._state is not _State.WAIT_CTS:
             return
         self._retries += 1
+        if self._tm is not None:
+            self._tm.registry.counter(
+                "mac.retries", node=self.node_id, kind="cts_timeout"
+            ).inc()
         if self._retries > self.phy.short_retry_limit:
             self._drop_current()
         else:
@@ -453,6 +478,10 @@ class _DcfNode:
         if self._state is not _State.WAIT_ACK:
             return
         self._retries += 1
+        if self._tm is not None:
+            self._tm.registry.counter(
+                "mac.retries", node=self.node_id, kind="ack_timeout"
+            ).inc()
         if self._retries > self.phy.short_retry_limit:
             self._drop_current()
         else:
@@ -465,6 +494,15 @@ class _DcfNode:
         assert self._current is not None
         packet, next_hop = self._current
         self.drops += 1
+        if self._tm is not None:
+            self._tm.registry.counter("mac.drops", node=self.node_id).inc()
+            self._tm.event(
+                self.sim.now,
+                "mac.drop",
+                node=self.node_id,
+                flow=packet.flow_id,
+                next_hop=next_hop,
+            )
         self._trace("mac.drop", flow=packet.flow_id, next_hop=next_hop)
         self.services.on_packet_dropped(packet, next_hop)
         self._complete_exchange()

@@ -156,6 +156,11 @@ class FluidMac(MacLayer):
         self._link_loss: dict[Link, float] = {}
         self._loss_rng = sim.rng.stream("fluid.loss")
         self.packets_lost = 0  # packets destroyed by injected link loss
+        # Telemetry: resolved once so disabled runs pay one None check
+        # per round; per-link instruments are cached on first use.
+        self._tm = sim.telemetry if sim.telemetry.enabled else None
+        self._rate_series: dict[Link, object] = {}
+        self._active_links: set[Link] = set()
 
     # --- MacLayer interface -----------------------------------------------------
 
@@ -336,3 +341,40 @@ class FluidMac(MacLayer):
             for node_id in sensing:
                 if node_id in self._busy:
                     self._busy[node_id] += airtime
+
+        if self._tm is not None:
+            self._record_round(alloc, sent_per_link)
+
+    def _record_round(
+        self, alloc: dict[Link, float], sent_per_link: dict[Link, int]
+    ) -> None:
+        """Record per-link telemetry after a round (enabled runs only)."""
+        assert self._tm is not None
+        now = self.sim.now
+        registry = self._tm.registry
+
+        def series_for(a_link: Link):
+            series = self._rate_series.get(a_link)
+            if series is None:
+                series = registry.series(
+                    "mac.link_rate", link=f"{a_link[0]}->{a_link[1]}"
+                )
+                self._rate_series[a_link] = series
+            return series
+
+        for a_link, rate in alloc.items():
+            series_for(a_link).record_changed(now, rate)
+        # A link that fell out of the allocation has rate 0 now; record
+        # the drop so the trajectory does not hold its last value.
+        for a_link in self._active_links - set(alloc):
+            series_for(a_link).record_changed(now, 0.0)
+        self._active_links = set(alloc)
+
+        for a_link, sent in sent_per_link.items():
+            if not sent:
+                continue
+            label = f"{a_link[0]}->{a_link[1]}"
+            registry.counter("mac.transfers", link=label).inc(sent)
+            registry.counter("mac.airtime_seconds", link=label).inc(
+                sent / self.capacity_pps
+            )

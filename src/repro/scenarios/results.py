@@ -39,11 +39,18 @@ class RunResult:
         rate_interval: width in seconds of the per-interval rate
             samples, or None when no time series was recorded.
         interval_rates: per flow, delivered packets/second in each
-            consecutive ``rate_interval`` window from t=0 (sample ``j``
-            covers ``[j*rate_interval, (j+1)*rate_interval)``); used by
-            the resilience metrics to time fault transients.
+            consecutive ``rate_interval`` window from t=0; used by
+            the resilience metrics to time fault transients.  The last
+            window may be *partial* (the run ended mid-window); its
+            rate divides by the actual window width, and the true edges
+            are in ``interval_bounds``.
+        interval_bounds: end time of each interval-rate window (sample
+            ``j`` covers ``(interval_bounds[j-1], interval_bounds[j]]``
+            with an implicit leading 0.0); empty when no time series
+            was recorded.
         extras: protocol-specific diagnostics (e.g. GMP rate-limit
-            history, 2PP allocation, fault log, invariant report).
+            history, 2PP allocation, fault log, invariant report, the
+            telemetry handle, the maxmin reference rates).
     """
 
     scenario: str
@@ -59,6 +66,7 @@ class RunResult:
     mac_drops: int = 0
     rate_interval: float | None = None
     interval_rates: dict[int, list[float]] = field(default_factory=dict)
+    interval_bounds: list[float] = field(default_factory=list)
     extras: dict[str, Any] = field(default_factory=dict)
 
     @property

@@ -21,6 +21,7 @@ Protocols:
 
 from __future__ import annotations
 
+from repro.analysis.maxmin_reference import weighted_maxmin_rates
 from repro.analysis.throughput import effective_network_throughput
 from repro.baselines.dcf_plain import plain_dcf_buffer
 from repro.baselines.two_phase import two_phase_rates
@@ -48,7 +49,9 @@ from repro.routing.validate import assert_acyclic
 from repro.scenarios.figures import Scenario
 from repro.scenarios.results import RunResult
 from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceCollector
 from repro.stack import NodeStack
+from repro.telemetry import Telemetry
 from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph
 
@@ -89,6 +92,8 @@ def run_scenario(
     max_events: int | None = None,
     stall_limit: int | None = 1_000_000,
     wall_deadline: float | None = None,
+    telemetry: Telemetry | None = None,
+    trace: TraceCollector | None = None,
 ) -> RunResult:
     """Simulate one session and measure end-to-end flow rates.
 
@@ -129,6 +134,16 @@ def run_scenario(
             without simulated time advancing (default one million;
             None disables).
         wall_deadline: kernel watchdog — real seconds the run may take.
+        telemetry: optional :class:`~repro.telemetry.Telemetry`
+            instance.  When enabled, the whole stack instruments itself
+            through it; the same instance (finalized) lands in
+            ``extras["telemetry"]`` and, for GMP runs, the centralized
+            maxmin reference rates land in ``extras["maxmin_reference"]``
+            for the convergence inspector.  Telemetry is passive — it
+            never schedules events — so enabling it does not change
+            what the simulation does.
+        trace: optional :class:`~repro.sim.trace.TraceCollector`
+            attached to the kernel; stored in ``extras["trace"]``.
 
     Raises:
         ConfigError: on unknown protocol/substrate names, inconsistent
@@ -171,7 +186,7 @@ def run_scenario(
     routes = ROUTING_PROTOCOLS[routing](topology)
     assert_acyclic(routes, flows.destinations())
 
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, trace=trace, telemetry=telemetry)
     if capacity_pps is None:
         packet_bytes = max(flow.packet_bytes for flow in flows)
         capacity_pps = phy.saturation_rate(packet_bytes, contenders=3)
@@ -216,6 +231,7 @@ def run_scenario(
             next_hop,
             make_gate(),
             per_dest_capacity=gmp_config.queue_capacity,
+            telemetry=telemetry,
         )
 
     for node_id in topology.node_ids:
@@ -283,7 +299,11 @@ def run_scenario(
     sim.call_at(warmup, snapshot, tag="runner.warmup")
 
     # Per-interval delivered-rate series (fault-transient resolution).
+    # Each sample divides by the *actual* window width, so the final
+    # partial window (duration not a multiple of rate_interval) is not
+    # understated; the window edges land in ``interval_bounds``.
     interval_rates: dict[int, list[float]] = {}
+    interval_bounds: list[float] = []
     if rate_interval is not None:
         interval_rates = {flow.flow_id: [] for flow in flows}
         sample_state = {
@@ -303,11 +323,14 @@ def run_scenario(
                 sample_state["counts"][flow.flow_id] = total
                 interval_rates[flow.flow_id].append(delta / elapsed)
             sample_state["time"] = now
+            interval_bounds.append(now)
 
-        tick = rate_interval
-        while tick < duration - 1e-9:
-            sim.call_at(tick, sample, tag="runner.sample")
-            tick += rate_interval
+        # Multiply instead of accumulating so float drift cannot merge
+        # or split the final window.
+        index = 1
+        while index * rate_interval < duration - 1e-9:
+            sim.call_at(index * rate_interval, sample, tag="runner.sample")
+            index += 1
         sim.call_at(duration, sample, tag="runner.sample")
 
     sim.run(
@@ -316,6 +339,31 @@ def run_scenario(
         stall_limit=stall_limit,
         wall_deadline=wall_deadline,
     )
+
+    extras["events_processed"] = sim.events_processed
+    if telemetry is not None and telemetry.enabled:
+        telemetry.finalize(sim.now)
+        telemetry.run_info.update(
+            {
+                "scenario": scenario.name,
+                "protocol": protocol,
+                "substrate": substrate,
+                "duration": duration,
+                "warmup": warmup,
+                "seed": seed,
+            }
+        )
+        extras["telemetry"] = telemetry
+        if gmp is not None:
+            reference = weighted_maxmin_rates(
+                flows,
+                routes,
+                maximal_cliques(ContentionGraph(topology)),
+                capacity_pps,
+            )
+            extras["maxmin_reference"] = dict(reference.rates)
+    if trace is not None:
+        extras["trace"] = trace
 
     window = duration - warmup
     flow_rates: dict[int, float] = {}
@@ -385,5 +433,6 @@ def run_scenario(
         mac_drops=mac_drops,
         rate_interval=rate_interval,
         interval_rates=interval_rates,
+        interval_bounds=interval_bounds,
         extras=extras,
     )

@@ -1,5 +1,5 @@
-"""The simulation kernel: clock, scheduling, timers, run control, and
-watchdogs.
+"""The simulation kernel: clock, scheduling, timers, run control,
+watchdogs, and telemetry collection.
 
 Watchdogs exist so that pathological models — a retry loop that
 re-schedules itself at zero delay, a fault scenario that triggers an
@@ -10,6 +10,13 @@ process.  Three are available on :meth:`Simulator.run`:
 * ``stall_limit`` — maximum events dispatched without the simulated
   clock advancing; on trip the error names the offending event tags;
 * ``wall_deadline`` — real (wall-clock) seconds the run may take.
+
+Telemetry: when a :class:`~repro.telemetry.Telemetry` instance is
+attached, :meth:`Simulator.run` counts dispatched events per tag, and
+— with profiling on — measures per-tag handler wall time and samples
+an events/sec throughput series.  Collection is strictly passive: the
+kernel never schedules events on behalf of telemetry, so an
+instrumented run dispatches exactly the same events as a bare one.
 """
 
 from __future__ import annotations
@@ -22,6 +29,10 @@ from repro.errors import SimulationError
 from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceCollector
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Events between throughput samples when telemetry is collecting.
+_THROUGHPUT_WINDOW = 4096
 
 
 class Timer:
@@ -86,13 +97,20 @@ class Simulator:
     seed) and replays identically.
     """
 
-    def __init__(self, *, seed: int = 0, trace: TraceCollector | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        trace: TraceCollector | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceCollector(enabled=False)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._events_processed = 0
 
     # --- clock ------------------------------------------------------------
@@ -241,6 +259,19 @@ class Simulator:
         wall_start = _time.monotonic() if wall_deadline is not None else 0.0
         events_at_now = 0
         stalled_tags: Counter[str] = Counter()
+        telemetry = self.telemetry
+        collect = telemetry.enabled
+        profile = telemetry.profile
+        tag_counts: dict[str, int] = {}
+        tag_wall: dict[str, float] = {}
+        run_events = 0
+        run_start = _time.monotonic() if collect else 0.0
+        window_start = run_start
+        throughput = (
+            telemetry.registry.series("kernel.events_per_sec_window")
+            if collect
+            else None
+        )
         try:
             while self._queue and not self._stopped:
                 next_time = self._queue.peek_time()
@@ -278,9 +309,45 @@ class Simulator:
                         f"wall-clock deadline of {wall_deadline:g}s exceeded at "
                         f"t={self._now:.6f} after {self._events_processed} events"
                     )
-                event.callback()
+                if not collect:
+                    event.callback()
+                else:
+                    tag = event.tag or "<untagged>"
+                    tag_counts[tag] = tag_counts.get(tag, 0) + 1
+                    run_events += 1
+                    if profile:
+                        handler_start = _time.perf_counter()
+                        event.callback()
+                        tag_wall[tag] = (
+                            tag_wall.get(tag, 0.0)
+                            + _time.perf_counter()
+                            - handler_start
+                        )
+                    else:
+                        event.callback()
+                    if run_events % _THROUGHPUT_WINDOW == 0:
+                        wall_now = _time.monotonic()
+                        window = wall_now - window_start
+                        if window > 0 and throughput is not None:
+                            throughput.record(
+                                self._now, _THROUGHPUT_WINDOW / window
+                            )
+                        window_start = wall_now
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
             return self._now
         finally:
             self._running = False
+            if collect:
+                registry = telemetry.registry
+                for tag, count in tag_counts.items():
+                    registry.counter("kernel.events_by_tag", tag=tag).inc(count)
+                for tag, wall in tag_wall.items():
+                    registry.counter(
+                        "kernel.handler_wall_seconds", tag=tag
+                    ).inc(wall)
+                elapsed = _time.monotonic() - run_start
+                if run_events and elapsed > 0:
+                    registry.gauge("kernel.events_per_sec").set(
+                        run_events / elapsed
+                    )

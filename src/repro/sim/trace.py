@@ -32,7 +32,10 @@ class TraceCollector:
         enabled: master switch; a disabled collector drops everything.
         categories: if given, only these categories (or prefixes ending
             in ``*``) are kept.
-        limit: optional cap on stored records (oldest kept).
+        limit: optional cap on stored records (oldest kept).  Records
+            past the cap are counted in :attr:`dropped` and a single
+            ``trace.truncated`` marker is appended (so stored length
+            may reach ``limit + 1``) — truncation is never silent.
     """
 
     def __init__(
@@ -53,15 +56,19 @@ class TraceCollector:
                     self._exact.add(category)
         self._limit = limit
         self._records: list[TraceRecord] = []
+        self.dropped = 0  # records refused because the limit was hit
 
     def __len__(self) -> int:
         return len(self._records)
 
     def wants(self, category: str) -> bool:
-        """True if a record with this category would be stored."""
+        """True if the filter admits this category.
+
+        Capacity is *not* part of the answer: emitters use ``wants`` to
+        skip building expensive fields, and the limit is enforced (and
+        counted) at :meth:`emit` time so truncation stays observable.
+        """
         if not self.enabled:
-            return False
-        if self._limit is not None and len(self._records) >= self._limit:
             return False
         if not self._exact and not self._prefixes:
             return True
@@ -70,9 +77,27 @@ class TraceCollector:
         return any(category.startswith(prefix) for prefix in self._prefixes)
 
     def emit(self, time: float, category: str, **fields: Any) -> None:
-        """Store one record if the filter admits it."""
-        if self.wants(category):
-            self._records.append(TraceRecord(time=time, category=category, fields=fields))
+        """Store one record if the filter admits it.
+
+        Once ``limit`` records are stored, further admitted records
+        are counted in :attr:`dropped` and a single ``trace.truncated``
+        marker (with the limit and, at read time, the running drop
+        count) is appended in their place.
+        """
+        if not self.wants(category):
+            return
+        if self._limit is not None and len(self._records) >= self._limit:
+            if self.dropped == 0:
+                self._records.append(
+                    TraceRecord(
+                        time=time,
+                        category="trace.truncated",
+                        fields={"limit": self._limit},
+                    )
+                )
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(time=time, category=category, fields=fields))
 
     def records(self, category: str | None = None) -> list[TraceRecord]:
         """Stored records, optionally filtered to one exact category."""
@@ -81,5 +106,6 @@ class TraceCollector:
         return [record for record in self._records if record.category == category]
 
     def clear(self) -> None:
-        """Drop all stored records."""
+        """Drop all stored records and reset the drop counter."""
         self._records.clear()
+        self.dropped = 0

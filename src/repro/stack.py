@@ -79,6 +79,10 @@ class NodeStack:
         self.crash_losses: dict[int, int] = {}  # flow_id -> packets lost to crashes
         self.alive = True
 
+        # Telemetry (None when disabled); per-flow counters cached.
+        self._tm = sim.telemetry if sim.telemetry.enabled else None
+        self._delivered_counters: dict[int, object] = {}
+
     # --- wiring ---------------------------------------------------------------
 
     def attach(self) -> None:
@@ -164,6 +168,14 @@ class NodeStack:
             self.delay_sum[packet.flow_id] = (
                 self.delay_sum.get(packet.flow_id, 0.0) + packet.delay
             )
+            if self._tm is not None:
+                counter = self._delivered_counters.get(packet.flow_id)
+                if counter is None:
+                    counter = self._tm.registry.counter(
+                        "flow.delivered", flow=packet.flow_id
+                    )
+                    self._delivered_counters[packet.flow_id] = counter
+                counter.inc()
             return
         if isinstance(self.buffer, PerDestinationBuffer):
             self.buffer.admit_forwarded_at(packet, self.sim.now)

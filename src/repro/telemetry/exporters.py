@@ -1,0 +1,314 @@
+"""Telemetry exporters.
+
+Three output formats:
+
+* :func:`write_metrics_jsonl` — one JSON object per line: a ``run``
+  header, counter/gauge/histogram snapshots, one ``sample`` line per
+  time-series point, and one ``event`` line per structured event.
+  Loads straight into pandas (``pd.read_json(path, lines=True)``).
+* :func:`write_chrome_trace` — Chrome ``trace_event`` JSON: series
+  become counter tracks, telemetry events and structured trace records
+  become instant events on per-subsystem threads.  Load the file in
+  Perfetto (https://ui.perfetto.dev) or ``about:tracing``; simulation
+  seconds are mapped to trace microseconds 1:1.
+* :func:`format_summary` — plain-text run summary (kernel profile,
+  top counters, event counts) for terminals and logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.sim.trace import TraceCollector
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Series,
+    TimeWeightedHistogram,
+)
+
+#: Simulation seconds -> trace microseconds.
+_TRACE_US = 1_000_000.0
+
+
+def _label_suffix(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _jsonable(fields: dict[str, Any]) -> dict[str, Any]:
+    return {
+        key: value
+        if isinstance(value, (int, float, str, bool, type(None)))
+        else str(value)
+        for key, value in fields.items()
+    }
+
+
+# --- JSONL ---------------------------------------------------------------------
+
+
+def write_metrics_jsonl(
+    path: str, telemetry: Telemetry, *, run_info: dict[str, Any] | None = None
+) -> int:
+    """Write every metric snapshot, series point, and event as JSONL.
+
+    Returns the number of lines written.
+    """
+    info = dict(telemetry.run_info)
+    if run_info:
+        info.update(run_info)
+    with open(path, "w", encoding="utf-8") as handle:
+        return _write_jsonl(handle, telemetry, info)
+
+
+def _write_jsonl(handle: TextIO, telemetry: Telemetry, info: dict[str, Any]) -> int:
+    lines = 0
+
+    def emit(record: dict[str, Any]) -> None:
+        nonlocal lines
+        handle.write(json.dumps(record, default=str) + "\n")
+        lines += 1
+
+    emit({"record": "run", **_jsonable(info)})
+    for instrument in telemetry.registry.instruments():
+        base = {
+            "record": instrument.kind,
+            "name": instrument.name,
+            "labels": _jsonable(instrument.labels),
+        }
+        if isinstance(instrument, (Counter, Gauge)):
+            emit({**base, "value": instrument.value})
+        elif isinstance(instrument, TimeWeightedHistogram):
+            emit({**base, **instrument.snapshot()})
+        elif isinstance(instrument, Series):
+            emit(
+                {
+                    **base,
+                    "points": len(instrument),
+                    "dropped": instrument.dropped,
+                }
+            )
+            for t, v in zip(instrument.times, instrument.values):
+                emit(
+                    {
+                        "record": "sample",
+                        "name": instrument.name,
+                        "labels": _jsonable(instrument.labels),
+                        "t": t,
+                        "v": v,
+                    }
+                )
+    for event in telemetry.events:
+        emit(
+            {
+                "record": "event",
+                "t": event.time,
+                "category": event.category,
+                "fields": _jsonable(event.fields),
+            }
+        )
+    if telemetry.events_dropped:
+        emit({"record": "events_dropped", "count": telemetry.events_dropped})
+    return lines
+
+
+# --- Chrome trace_event --------------------------------------------------------
+
+#: Stable thread ids per subsystem (top-level category segment).
+_SUBSYSTEM_TIDS = {
+    "kernel": 1,
+    "mac": 2,
+    "channel": 2,
+    "buffer": 3,
+    "gmp": 4,
+    "flow": 5,
+    "traffic": 5,
+    "runner": 6,
+    "trace": 7,
+}
+_DEFAULT_TID = 8
+_PID = 1
+
+
+def _tid_for(category: str) -> int:
+    return _SUBSYSTEM_TIDS.get(category.split(".", 1)[0], _DEFAULT_TID)
+
+
+def write_chrome_trace(
+    path: str,
+    telemetry: Telemetry,
+    *,
+    trace: TraceCollector | None = None,
+    run_info: dict[str, Any] | None = None,
+) -> int:
+    """Write a Chrome ``trace_event`` JSON file.
+
+    Series become counter tracks (``ph: "C"``); telemetry events and —
+    when a :class:`TraceCollector` is supplied — structured trace
+    records become instant events (``ph: "i"``) on per-subsystem
+    threads.  Returns the number of trace events written.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    named: set[int] = set()
+
+    def name_thread(tid: int, name: str) -> None:
+        if tid not in named:
+            named.add(tid)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    for subsystem, tid in sorted(_SUBSYSTEM_TIDS.items(), key=lambda kv: kv[1]):
+        # First registration wins for shared tids (mac/channel, flow/traffic).
+        name_thread(tid, subsystem)
+    name_thread(_DEFAULT_TID, "other")
+
+    count = 0
+    for instrument in telemetry.registry.instruments():
+        if not isinstance(instrument, Series):
+            continue
+        track = instrument.name + _label_suffix(instrument.labels)
+        for t, v in zip(instrument.times, instrument.values):
+            events.append(
+                {
+                    "name": track,
+                    "ph": "C",
+                    "ts": t * _TRACE_US,
+                    "pid": _PID,
+                    "tid": _tid_for(instrument.name),
+                    "args": {"value": v},
+                }
+            )
+            count += 1
+
+    for event in telemetry.events:
+        events.append(
+            {
+                "name": event.category,
+                "ph": "i",
+                "s": "t",
+                "ts": event.time * _TRACE_US,
+                "pid": _PID,
+                "tid": _tid_for(event.category),
+                "args": _jsonable(event.fields),
+            }
+        )
+        count += 1
+
+    if trace is not None:
+        for record in trace.records():
+            events.append(
+                {
+                    "name": record.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record.time * _TRACE_US,
+                    "pid": _PID,
+                    "tid": _tid_for(record.category),
+                    "args": _jsonable(record.fields),
+                }
+            )
+            count += 1
+
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if run_info or telemetry.run_info:
+        info = dict(telemetry.run_info)
+        info.update(run_info or {})
+        payload["otherData"] = _jsonable(info)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, default=str)
+    return count
+
+
+# --- plain-text summary --------------------------------------------------------
+
+
+def format_summary(telemetry: Telemetry, *, top: int = 12) -> str:
+    """Human-readable run summary: kernel profile, largest counters,
+    series sizes, and event counts by category."""
+    lines: list[str] = ["telemetry summary", "================="]
+
+    tag_counts = [
+        (instrument.labels.get("tag", "?"), instrument.value)
+        for instrument in telemetry.registry.instruments("kernel.events_by_tag")
+    ]
+    if tag_counts:
+        lines.append("")
+        lines.append("kernel: dispatched events by tag")
+        wall = {
+            instrument.labels.get("tag", "?"): instrument.value
+            for instrument in telemetry.registry.instruments(
+                "kernel.handler_wall_seconds"
+            )
+        }
+        for tag, value in sorted(tag_counts, key=lambda kv: -kv[1])[:top]:
+            suffix = f"  {wall[tag] * 1e3:10.2f} ms" if tag in wall else ""
+            lines.append(f"  {tag:<28} {int(value):>10}{suffix}")
+        throughput = next(
+            iter(telemetry.registry.instruments("kernel.events_per_sec")), None
+        )
+        if throughput is not None and getattr(throughput, "value", None):
+            lines.append(f"  events/sec (wall): {throughput.value:,.0f}")
+
+    counters = [
+        instrument
+        for instrument in telemetry.registry.instruments()
+        if isinstance(instrument, Counter)
+        and instrument.name != "kernel.events_by_tag"
+        and instrument.value > 0
+    ]
+    if counters:
+        lines.append("")
+        lines.append(f"top counters (of {len(counters)} non-zero)")
+        for instrument in sorted(counters, key=lambda c: -c.value)[:top]:
+            lines.append(
+                f"  {instrument.name + _label_suffix(instrument.labels):<44}"
+                f" {instrument.value:>12.3f}"
+            )
+
+    series = [
+        instrument
+        for instrument in telemetry.registry.instruments()
+        if isinstance(instrument, Series) and len(instrument)
+    ]
+    if series:
+        lines.append("")
+        lines.append(f"time series: {len(series)} populated")
+        total = sum(len(s) for s in series)
+        dropped = sum(s.dropped for s in series)
+        lines.append(f"  {total} points stored, {dropped} dropped")
+
+    if telemetry.events:
+        lines.append("")
+        lines.append("events by category")
+        by_category: dict[str, int] = {}
+        for event in telemetry.events:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        for category in sorted(by_category):
+            lines.append(f"  {category:<28} {by_category[category]:>10}")
+        if telemetry.events_dropped:
+            lines.append(f"  (+{telemetry.events_dropped} dropped at the cap)")
+
+    return "\n".join(lines)

@@ -56,6 +56,48 @@ def test_cli_rejects_unknown_scenario():
         main(["figure9"])
 
 
+def test_cli_telemetry_flags_write_outputs(capsys, tmp_path):
+    metrics = tmp_path / "m.jsonl"
+    trace = tmp_path / "t.json"
+    code = main(
+        [
+            "figure3",
+            "--substrate",
+            "fluid",
+            "--duration",
+            "10",
+            "--profile",
+            "--metrics-out",
+            str(metrics),
+            "--trace-out",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert metrics.exists() and trace.exists()
+    assert "telemetry summary" in out
+    assert "convergence narrative" in out
+    assert "metrics:" in out and "trace:" in out
+
+
+def test_cli_trace_categories_collects_structured_trace(capsys):
+    code = main(
+        [
+            "figure3",
+            "--substrate",
+            "dcf",
+            "--duration",
+            "2",
+            "--trace-categories",
+            "channel.tx",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "structured trace:" in out
+
+
 def test_cli_traffic_models(capsys):
     for traffic in ("poisson", "onoff"):
         code = main(

@@ -1,0 +1,149 @@
+"""Tests for the convergence inspector (telemetry -> narrative)."""
+
+import pytest
+
+from repro.analysis.inspector import inspect_convergence, inspect_run
+from repro.errors import AnalysisError
+from repro.scenarios.figures import figure3
+from repro.scenarios.runner import run_scenario
+from repro.telemetry import Telemetry
+
+
+def _telemetry_with_flow(flow_id, samples):
+    telemetry = Telemetry()
+    series = telemetry.registry.series("gmp.flow_rate", flow=flow_id)
+    for t, v in samples:
+        series.record(t, v)
+    return telemetry
+
+
+def test_flow_enters_band_and_entry_time_is_first_in_band_sample():
+    # Out of band at t=1,2, inside from t=3 onward.
+    telemetry = _telemetry_with_flow(
+        1, [(1.0, 50.0), (2.0, 80.0), (3.0, 98.0), (4.0, 101.0), (5.0, 99.0)]
+    )
+    report = inspect_convergence(telemetry, {1: 100.0}, band=0.05, hold=3)
+    verdict = report.flows[0]
+    assert verdict.entered_at == 3.0
+    assert verdict.final_rate == 99.0
+    assert "entered band at t=3.0s" in report.narrative()
+
+
+def test_flow_never_settles_without_enough_hold_samples():
+    telemetry = _telemetry_with_flow(1, [(1.0, 50.0), (2.0, 99.0), (3.0, 100.0)])
+    report = inspect_convergence(telemetry, {1: 100.0}, band=0.05, hold=3)
+    verdict = report.flows[0]
+    assert verdict.entered_at is None
+    assert verdict.closest_off == pytest.approx(0.0)
+    assert "never settled" in report.narrative()
+
+
+def test_late_excursion_resets_band_entry():
+    telemetry = _telemetry_with_flow(
+        1,
+        [(1.0, 100.0), (2.0, 100.0), (3.0, 50.0), (4.0, 99.0), (5.0, 100.0), (6.0, 101.0)],
+    )
+    report = inspect_convergence(telemetry, {1: 100.0}, band=0.05, hold=3)
+    assert report.flows[0].entered_at == 4.0
+
+
+def test_zero_reference_flow_is_reported_not_crashed():
+    telemetry = _telemetry_with_flow(1, [(1.0, 0.0)])
+    report = inspect_convergence(telemetry, {1: 0.0})
+    assert report.flows[0].entered_at is None
+    assert "band undefined" in report.narrative()
+
+
+def test_adjustment_attributed_to_condition_change_at_origin():
+    telemetry = _telemetry_with_flow(1, [(1.0, 100.0)])
+    telemetry.event(
+        2.0,
+        "gmp.condition_change",
+        link="1->2",
+        dest=3,
+        old="none",
+        new="buffer_saturated",
+    )
+    telemetry.event(
+        2.5,
+        "gmp.condition_change",
+        link="4->5",
+        dest=3,
+        old="none",
+        new="buffer_saturated",
+    )
+    telemetry.event(
+        3.0,
+        "gmp.adjust",
+        flow=1,
+        kind="decrease",
+        reason="buffer",
+        origin=2,
+        multiplier=0.5,
+        old_limit=200.0,
+        new_limit=100.0,
+    )
+    report = inspect_convergence(telemetry, {1: 100.0})
+    adjustment = report.adjustments[0]
+    # Node 2 is an endpoint of 1->2 but not of 4->5.
+    assert adjustment.trigger_time == 2.0
+    assert "link 1->2" in adjustment.trigger
+    assert adjustment.kind == "decrease"
+    assert adjustment.origin == 2
+
+
+def test_bandwidth_adjustment_attributed_to_violation():
+    telemetry = _telemetry_with_flow(1, [(1.0, 100.0)])
+    telemetry.event(4.0, "gmp.violation", link="2->3", streak=3)
+    telemetry.event(
+        6.0,
+        "gmp.adjust",
+        flow=1,
+        kind="decrease",
+        reason="bandwidth",
+        origin=2,
+        multiplier=0.9,
+        old_limit=None,
+        new_limit=90.0,
+    )
+    report = inspect_convergence(telemetry, {1: 100.0})
+    adjustment = report.adjustments[0]
+    assert adjustment.trigger_time == 4.0
+    assert "violation" in adjustment.trigger
+
+
+def test_inspect_convergence_validates_inputs():
+    telemetry = _telemetry_with_flow(1, [(1.0, 100.0)])
+    with pytest.raises(AnalysisError):
+        inspect_convergence(Telemetry(enabled=False), {1: 100.0})
+    with pytest.raises(AnalysisError):
+        inspect_convergence(telemetry, {1: 100.0}, band=1.5)
+    with pytest.raises(AnalysisError):
+        inspect_convergence(telemetry, {1: 100.0}, hold=0)
+
+
+def test_inspect_run_requires_telemetry_extras():
+    result = run_scenario(
+        figure3(), protocol="gmp", substrate="fluid", duration=5.0, seed=1
+    )
+    with pytest.raises(AnalysisError):
+        inspect_run(result)
+
+
+def test_inspect_run_end_to_end_on_instrumented_gmp_run():
+    telemetry = Telemetry()
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=20.0,
+        seed=1,
+        telemetry=telemetry,
+    )
+    assert result.extras["telemetry"] is telemetry
+    assert set(result.extras["maxmin_reference"]) == set(result.flow_rates)
+    report = inspect_run(result)
+    assert {v.flow_id for v in report.flows} == set(result.flow_rates)
+    narrative = report.narrative()
+    assert "convergence narrative" in narrative
+    assert "rate adjustments applied" in narrative

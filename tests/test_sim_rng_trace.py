@@ -71,12 +71,27 @@ def test_trace_category_whitelist_and_prefix():
     }
 
 
-def test_trace_limit_caps_storage():
+def test_trace_limit_counts_drops_and_marks_truncation():
     trace = TraceCollector(limit=3)
     for index in range(10):
         trace.emit(float(index), "x", i=index)
-    assert len(trace) == 3
-    assert [record.fields["i"] for record in trace.records()] == [0, 1, 2]
+    records = trace.records()
+    kept = [record for record in records if record.category == "x"]
+    markers = [record for record in records if record.category == "trace.truncated"]
+    assert [record.fields["i"] for record in kept] == [0, 1, 2]
+    assert trace.dropped == 7
+    assert len(markers) == 1
+    assert markers[0].fields["limit"] == 3
+
+
+def test_trace_clear_resets_dropped():
+    trace = TraceCollector(limit=1)
+    trace.emit(0.0, "x")
+    trace.emit(1.0, "x")
+    assert trace.dropped == 1
+    trace.clear()
+    assert trace.dropped == 0
+    assert len(trace) == 0
 
 
 def test_trace_clear():

@@ -1,0 +1,220 @@
+"""Tests for the telemetry subsystem: registry, facade, exporters,
+and the kernel's profiling hooks."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.telemetry.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_SERIES,
+)
+from repro.telemetry.exporters import (
+    format_summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_interns_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("mac.retries", node=1)
+    b = registry.counter("mac.retries", node=1)
+    c = registry.counter("mac.retries", node=2)
+    assert a is b
+    assert a is not c
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ConfigError):
+        counter.inc(-1.0)
+
+
+def test_gauge_keeps_last_value():
+    gauge = MetricsRegistry().gauge("kernel.events_per_sec")
+    assert gauge.value is None
+    gauge.set(10.0)
+    gauge.set(4.0)
+    assert gauge.value == 4.0
+
+
+def test_histogram_dwell_accounting():
+    registry = MetricsRegistry()
+    hist = registry.histogram("buffer.fullness", (0.5,), node=0)
+    hist.update(0.0, 0.0)  # empty from t=0
+    hist.update(4.0, 1.0)  # full from t=4
+    hist.finalize(10.0)
+    assert hist.bucket_time == [4.0, 6.0]
+    assert hist.total_time == 10.0
+    assert hist.time_weighted_mean == pytest.approx(0.6)
+
+
+def test_histogram_rejects_bad_bounds():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigError):
+        registry.histogram("bad", (2.0, 1.0))
+    with pytest.raises(ConfigError):
+        registry.histogram("empty", ())
+
+
+def test_series_change_compression_and_limit():
+    registry = MetricsRegistry(series_limit=3)
+    series = registry.series("buffer.queue_len", node=0, dest=3)
+    series.record_changed(0.0, 1.0)
+    series.record_changed(1.0, 1.0)  # unchanged: skipped
+    series.record_changed(2.0, 2.0)
+    series.record(3.0, 2.0)  # plain record keeps duplicates
+    series.record(4.0, 5.0)  # over the limit
+    assert series.points() == [(0.0, 1.0), (2.0, 2.0), (3.0, 2.0)]
+    assert series.dropped == 1
+
+
+def test_disabled_registry_hands_out_null_singletons():
+    registry = MetricsRegistry(enabled=False)
+    assert registry.counter("x") is NULL_COUNTER
+    assert registry.gauge("x") is NULL_GAUGE
+    assert registry.histogram("x", (1.0,)) is NULL_HISTOGRAM
+    assert registry.series("x") is NULL_SERIES
+    registry.counter("x").inc(5.0)
+    registry.gauge("x").set(1.0)
+    registry.series("x").record(0.0, 1.0)
+    assert NULL_COUNTER.value == 0.0
+    assert NULL_GAUGE.value is None
+    assert len(NULL_SERIES) == 0
+    assert len(registry) == 0
+
+
+def test_instruments_filter_and_deterministic_order():
+    registry = MetricsRegistry()
+    registry.counter("b.two", node=2)
+    registry.counter("b.two", node=1)
+    registry.gauge("a.one")
+    first = [repr(i) for i in registry.instruments()]
+    assert first == [repr(i) for i in registry.instruments()]
+    only = list(registry.instruments("b.two"))
+    assert [i.labels["node"] for i in only] == [1, 2]
+
+
+# ----------------------------------------------------------------- facade
+
+
+def test_event_log_caps_and_counts_drops():
+    telemetry = Telemetry(event_limit=2)
+    telemetry.event(0.0, "gmp.adjust", flow=1)
+    telemetry.event(1.0, "mac.drop", node=2)
+    telemetry.event(2.0, "gmp.adjust", flow=2)
+    assert len(telemetry.events) == 2
+    assert telemetry.events_dropped == 1
+    assert [e.fields["flow"] for e in telemetry.events_in("gmp.adjust")] == [1]
+
+
+def test_disabled_telemetry_records_nothing():
+    assert not NULL_TELEMETRY.enabled
+    NULL_TELEMETRY.event(0.0, "x")
+    assert NULL_TELEMETRY.events == []
+    assert Telemetry(enabled=False, profile=True).profile is False
+
+
+# ----------------------------------------------------------------- kernel
+
+
+def _run_ticks(telemetry):
+    sim = Simulator(seed=1, telemetry=telemetry)
+    ticks = []
+    for index in range(5):
+        sim.call_at(0.1 * index, lambda: ticks.append(1), tag="test.tick")
+    sim.run(until=1.0)
+    return sim
+
+
+def test_kernel_counts_events_by_tag():
+    telemetry = Telemetry()
+    _run_ticks(telemetry)
+    counters = list(telemetry.registry.instruments("kernel.events_by_tag"))
+    by_tag = {c.labels["tag"]: c.value for c in counters}
+    assert by_tag["test.tick"] == 5
+
+
+def test_kernel_profile_measures_handler_wall_time():
+    telemetry = Telemetry(profile=True)
+    _run_ticks(telemetry)
+    walls = list(telemetry.registry.instruments("kernel.handler_wall_seconds"))
+    assert any(c.labels["tag"] == "test.tick" and c.value >= 0 for c in walls)
+
+
+def test_kernel_default_telemetry_is_shared_null():
+    sim = Simulator(seed=1)
+    assert sim.telemetry is NULL_TELEMETRY
+
+
+# -------------------------------------------------------------- exporters
+
+
+def _populated_telemetry():
+    telemetry = Telemetry()
+    telemetry.registry.counter("mac.retries", node=1).inc(3)
+    telemetry.registry.gauge("kernel.events_per_sec").set(100.0)
+    hist = telemetry.registry.histogram("buffer.fullness", (0.5,), node=0)
+    hist.update(0.0, 0.0)
+    series = telemetry.registry.series("gmp.flow_rate", flow=1)
+    series.record(1.0, 50.0)
+    series.record(2.0, 60.0)
+    telemetry.event(1.5, "gmp.adjust", flow=1, kind="decrease")
+    telemetry.finalize(4.0)
+    return telemetry
+
+
+def test_write_metrics_jsonl(tmp_path):
+    path = tmp_path / "m.jsonl"
+    count = write_metrics_jsonl(path, _populated_telemetry())
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == count
+    kinds = {line["record"] for line in lines}
+    assert {"run", "counter", "gauge", "histogram", "series", "sample", "event"} <= kinds
+    counter = next(l for l in lines if l["record"] == "counter")
+    assert counter["name"] == "mac.retries"
+    assert counter["labels"] == {"node": 1}
+    assert counter["value"] == 3
+    samples = [l for l in lines if l["record"] == "sample"]
+    assert [(s["t"], s["v"]) for s in samples] == [(1.0, 50.0), (2.0, 60.0)]
+
+
+def test_write_chrome_trace_is_perfetto_loadable_shape(tmp_path):
+    path = tmp_path / "t.json"
+    count = write_chrome_trace(path, _populated_telemetry())
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    # The returned count covers data events; metadata (ph "M") is extra.
+    assert len([e for e in events if e["ph"] != "M"]) == count
+    assert payload["displayTimeUnit"] == "ms"
+    phases = {event["ph"] for event in events}
+    assert {"M", "C", "i"} <= phases
+    counters = [e for e in events if e["ph"] == "C"]
+    # ts is sim seconds scaled to microseconds
+    assert counters[0]["ts"] == pytest.approx(1.0 * 1_000_000)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["name"] == "gmp.adjust"
+
+
+def test_format_summary_mentions_key_sections():
+    text = format_summary(_populated_telemetry())
+    assert "mac.retries" in text
+    assert "gmp.adjust" in text
+    assert "time series" in text
