@@ -5,6 +5,9 @@ dispatch, packet-level DCF throughput, fluid-round throughput, and
 clique enumeration on a dense random network.
 """
 
+import pathlib
+import sys
+
 from repro.mac.dcf import DcfMac
 from repro.mac.fluid import FluidMac
 from repro.sim.kernel import Simulator
@@ -13,12 +16,10 @@ from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph
 from repro.topology.network import Topology
 
-import sys
-import pathlib
-
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
-from helpers import QueueNode, SaturatedSender  # noqa: E402
 from repro.flows.packet import Packet  # noqa: E402
+
+from helpers import QueueNode, SaturatedSender  # noqa: E402
 
 
 def test_event_kernel_dispatch_rate(benchmark):

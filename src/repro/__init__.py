@@ -17,9 +17,9 @@ Quickstart::
         print(flow_id, rate)
 """
 
+from repro.core import GmpConfig, GmpProtocol
 from repro.errors import ReproError
 from repro.flows import Flow, FlowSet
-from repro.core import GmpConfig, GmpProtocol
 from repro.scenarios import RunResult, run_scenario
 from repro.topology import Topology, chain_topology, grid_topology, random_topology
 

@@ -31,7 +31,12 @@ from repro.core.config import GmpConfig
 from repro.errors import ReproError
 from repro.faults.spec import parse_fault_spec
 from repro.scenarios.figures import figure1, figure2, figure3, figure4
-from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
+from repro.scenarios.runner import (
+    PROTOCOLS,
+    SUBSTRATES,
+    replay_check,
+    run_scenario,
+)
 from repro.sim.trace import TraceCollector
 from repro.telemetry import Telemetry
 from repro.telemetry.exporters import (
@@ -125,6 +130,14 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the structured trace collector for these comma-"
         'separated categories (suffix * for prefixes, e.g. "mac.*,gmp.adjust")',
     )
+    parser.add_argument(
+        "--sanitize",
+        choices=("replay",),
+        default=None,
+        help="run the scenario twice under the replay sanitizer and "
+        "diff the event digests (exit 1 and name the first divergent "
+        "event on mismatch)",
+    )
     args = parser.parse_args(argv)
 
     telemetry_on = bool(args.metrics_out or args.trace_out or args.profile)
@@ -140,11 +153,20 @@ def main(argv: list[str] | None = None) -> int:
             enabled=True, categories=categories or None, limit=200_000
         )
 
+    if args.sanitize is not None and (telemetry is not None or trace is not None):
+        print(
+            "error: --sanitize replay runs the scenario twice and cannot "
+            "share one telemetry/trace collector across runs; drop "
+            "--metrics-out/--trace-out/--profile/--trace-categories",
+            file=sys.stderr,
+        )
+        return 2
+
+    replay_report = None
     try:
         scenario = _build_scenario(args)
         faults = parse_fault_spec(args.faults) if args.faults else None
-        result = run_scenario(
-            scenario,
+        kwargs = dict(
             protocol=args.protocol,
             substrate=args.substrate,
             duration=args.duration,
@@ -156,9 +178,13 @@ def main(argv: list[str] | None = None) -> int:
             max_events=args.max_events,
             stall_limit=args.stall_limit,
             wall_deadline=args.wall_deadline,
-            telemetry=telemetry,
-            trace=trace,
         )
+        if args.sanitize is not None:
+            replay_report, result, _ = replay_check(scenario, **kwargs)
+        else:
+            result = run_scenario(
+                scenario, telemetry=telemetry, trace=trace, **kwargs
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -195,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
         if trace.dropped:
             note += f" ({trace.dropped} dropped at the limit)"
         print(note)
+    if replay_report is not None:
+        print()
+        print(replay_report.render())
+        if not replay_report.matched:
+            return 1
     return 0
 
 

@@ -2,15 +2,13 @@
 reference solver, effective throughput, convergence and resilience
 metrics, and text tables for the benchmark harness."""
 
+from repro.analysis.convergence import convergence_time, oscillation_amplitude
 from repro.analysis.fairness import (
     equality_fairness_index,
     jain_index,
     maxmin_fairness_index,
     normalized_rates,
 )
-from repro.analysis.maxmin_reference import MaxminSolution, weighted_maxmin_rates
-from repro.analysis.throughput import effective_network_throughput
-from repro.analysis.convergence import convergence_time, oscillation_amplitude
 from repro.analysis.inspector import (
     AdjustmentAttribution,
     ConvergenceReport,
@@ -18,6 +16,7 @@ from repro.analysis.inspector import (
     inspect_convergence,
     inspect_run,
 )
+from repro.analysis.maxmin_reference import MaxminSolution, weighted_maxmin_rates
 from repro.analysis.report import format_table
 from repro.analysis.resilience import (
     TransientMetrics,
@@ -27,6 +26,7 @@ from repro.analysis.resilience import (
     reconvergence_time,
     surviving_maxmin_reference,
 )
+from repro.analysis.throughput import effective_network_throughput
 
 __all__ = [
     "maxmin_fairness_index",

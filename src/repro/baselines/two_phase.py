@@ -99,10 +99,12 @@ def two_phase_rates(
     # still only gets 1/|clique| of the capacity.
     flows_per_link: dict[Link, int] = {}
     for flow in flows:
-        for a_link in {
-            _canonical(a_link)
-            for a_link in routes.path_links(flow.source, flow.destination)
-        }:
+        for a_link in sorted(
+            {
+                _canonical(a_link)
+                for a_link in routes.path_links(flow.source, flow.destination)
+            }
+        ):
             flows_per_link[a_link] = flows_per_link.get(a_link, 0) + 1
     link_share: dict[Link, float] = {}
     for clique in cliques:

@@ -11,8 +11,8 @@ The three evaluated protocols differ chiefly in queueing (paper §7.2):
   :class:`BackpressureGate`).
 """
 
-from repro.buffers.occupancy import FullnessMeter
 from repro.buffers.backpressure import BackpressureGate, OracleGate, OverhearingGate
+from repro.buffers.occupancy import FullnessMeter
 from repro.buffers.queues import (
     SHARED_QUEUE_KEY,
     BufferPolicy,

@@ -15,8 +15,8 @@ The package decomposes the protocol the way the paper does:
 """
 
 from repro.core.classification import LinkType, classify_link
-from repro.core.config import GmpConfig
 from repro.core.conditions import beta_equal, beta_less
+from repro.core.config import GmpConfig
 from repro.core.protocol import GmpProtocol
 from repro.core.requests import RateRequest, RequestKind, aggregate_requests
 from repro.core.virtual import GrandVirtualNetwork

@@ -460,7 +460,7 @@ class GmpProtocol:
         State comparisons use the protocol's β-equality so jitter below
         the decision resolution does not count as a change."""
         beta = self.config.beta
-        for a_link in set(occupancy) | set(wlink_mu):
+        for a_link in sorted(set(occupancy) | set(wlink_mu)):
             state = (occupancy.get(a_link, 0.0), wlink_mu.get(a_link, 0.0))
             previous = self._last_link_state.get(a_link)
             changed = previous is None or not (
@@ -488,7 +488,7 @@ class GmpProtocol:
         """Merge both endpoints' trackers per virtual link."""
         beta = self.config.beta
         merged: dict[tuple[Link, int], dict[int, float]] = {}
-        for node, tracker in self._trackers.items():
+        for tracker in self._trackers.values():
             for a_link, dest in tracker.tracked_vlinks():
                 mu, primaries = tracker.summarize(a_link, dest, beta=beta)
                 if mu is None:

@@ -366,7 +366,7 @@ class FluidMac(MacLayer):
             series_for(a_link).record_changed(now, rate)
         # A link that fell out of the allocation has rate 0 now; record
         # the drop so the trajectory does not hold its last value.
-        for a_link in self._active_links - set(alloc):
+        for a_link in sorted(self._active_links - set(alloc)):
             series_for(a_link).record_changed(now, 0.0)
         self._active_links = set(alloc)
 

@@ -12,10 +12,10 @@ Both produce the same next hops on unit-cost topologies (asserted by
 tests) and both are validated to be loop-free per destination.
 """
 
-from repro.routing.table import RouteSet, RoutingTable
-from repro.routing.link_state import link_state_routes
 from repro.routing.distance_vector import distance_vector_routes
 from repro.routing.geographic import greedy_geographic_routes
+from repro.routing.link_state import link_state_routes
+from repro.routing.table import RouteSet, RoutingTable
 from repro.routing.validate import assert_acyclic, routing_is_acyclic
 
 __all__ = [

@@ -49,6 +49,7 @@ from repro.routing.validate import assert_acyclic
 from repro.scenarios.figures import Scenario
 from repro.scenarios.results import RunResult
 from repro.sim.kernel import Simulator
+from repro.sim.replay import ReplayReport, ReplaySanitizer, diff_sanitizers
 from repro.sim.trace import TraceCollector
 from repro.stack import NodeStack
 from repro.telemetry import Telemetry
@@ -94,6 +95,7 @@ def run_scenario(
     wall_deadline: float | None = None,
     telemetry: Telemetry | None = None,
     trace: TraceCollector | None = None,
+    sanitizer: ReplaySanitizer | None = None,
 ) -> RunResult:
     """Simulate one session and measure end-to-end flow rates.
 
@@ -144,6 +146,12 @@ def run_scenario(
             what the simulation does.
         trace: optional :class:`~repro.sim.trace.TraceCollector`
             attached to the kernel; stored in ``extras["trace"]``.
+        sanitizer: optional :class:`~repro.sim.replay.ReplaySanitizer`
+            attached to the kernel.  Every dispatched event is folded
+            into its rolling digest (passively — observation never
+            schedules); the final digest lands in
+            ``extras["replay_digest"]``.  :func:`replay_check` runs a
+            scenario twice and diffs two sanitizers.
 
     Raises:
         ConfigError: on unknown protocol/substrate names, inconsistent
@@ -186,7 +194,9 @@ def run_scenario(
     routes = ROUTING_PROTOCOLS[routing](topology)
     assert_acyclic(routes, flows.destinations())
 
-    sim = Simulator(seed=seed, trace=trace, telemetry=telemetry)
+    sim = Simulator(
+        seed=seed, trace=trace, telemetry=telemetry, sanitizer=sanitizer
+    )
     if capacity_pps is None:
         packet_bytes = max(flow.packet_bytes for flow in flows)
         capacity_pps = phy.saturation_rate(packet_bytes, contenders=3)
@@ -341,6 +351,8 @@ def run_scenario(
     )
 
     extras["events_processed"] = sim.events_processed
+    if sanitizer is not None:
+        extras["replay_digest"] = sanitizer.hexdigest()
     if telemetry is not None and telemetry.enabled:
         telemetry.finalize(sim.now)
         telemetry.run_info.update(
@@ -436,3 +448,42 @@ def run_scenario(
         interval_bounds=interval_bounds,
         extras=extras,
     )
+
+
+def replay_check(
+    scenario: Scenario,
+    *,
+    journal_limit: int | None = None,
+    **kwargs: object,
+) -> tuple[ReplayReport, RunResult, RunResult]:
+    """Run ``scenario`` twice with identical arguments and diff the
+    replay digests.
+
+    A matched report proves the two runs dispatched the identical
+    event sequence; a mismatch names the first divergent event (index,
+    timestamp, tag) — the symptom of an unseeded draw, a wall-clock
+    read, or hash-order iteration feeding the schedule.
+
+    Args:
+        scenario: the scenario to run (twice).
+        journal_limit: per-run event journal cap (None: sanitizer
+            default).
+        **kwargs: forwarded verbatim to both :func:`run_scenario`
+            calls.  ``telemetry``/``trace`` instances accumulate per
+            run, so pass factories' products only when you know they
+            tolerate two runs; plain deterministic kwargs (protocol,
+            substrate, duration, seed, ...) are the intended use.
+
+    Returns:
+        ``(report, first_result, second_result)``.
+    """
+    if "sanitizer" in kwargs:
+        raise ConfigError("replay_check manages its own sanitizers")
+    limits = (
+        {"journal_limit": journal_limit} if journal_limit is not None else {}
+    )
+    first = ReplaySanitizer(**limits)
+    second = ReplaySanitizer(**limits)
+    result_first = run_scenario(scenario, sanitizer=first, **kwargs)  # type: ignore[arg-type]
+    result_second = run_scenario(scenario, sanitizer=second, **kwargs)  # type: ignore[arg-type]
+    return diff_sanitizers(first, second), result_first, result_second

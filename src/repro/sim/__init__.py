@@ -3,21 +3,27 @@
 A minimal but complete event-driven kernel: a binary-heap event queue
 (:mod:`repro.sim.event`), a :class:`~repro.sim.kernel.Simulator` facade
 with timers and stop conditions, deterministic named random streams
-(:mod:`repro.sim.rng`), and a structured trace collector
-(:mod:`repro.sim.trace`).
+(:mod:`repro.sim.rng`), a structured trace collector
+(:mod:`repro.sim.trace`), and the replay sanitizer
+(:mod:`repro.sim.replay`) that proves two runs dispatched identical
+event sequences.
 """
 
 from repro.sim.event import Event, EventQueue
 from repro.sim.kernel import Simulator, Timer
+from repro.sim.replay import ReplayReport, ReplaySanitizer, diff_sanitizers
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceCollector, TraceRecord
 
 __all__ = [
     "Event",
     "EventQueue",
+    "ReplayReport",
+    "ReplaySanitizer",
+    "RngRegistry",
     "Simulator",
     "Timer",
-    "RngRegistry",
     "TraceCollector",
     "TraceRecord",
+    "diff_sanitizers",
 ]

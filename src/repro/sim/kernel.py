@@ -21,12 +21,17 @@ instrumented run dispatches exactly the same events as a bare one.
 
 from __future__ import annotations
 
+# simcheck: allow-file[DET001] watchdogs and opt-in profiling read wall
+# clocks deliberately; their readings never feed simulation state (see
+# docs/DETERMINISM.md).
+
 import time as _time
 from collections import Counter
 from typing import Callable
 
 from repro.errors import SimulationError
 from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.replay import ReplaySanitizer
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceCollector
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -103,6 +108,7 @@ class Simulator:
         seed: int = 0,
         trace: TraceCollector | None = None,
         telemetry: Telemetry | None = None,
+        sanitizer: ReplaySanitizer | None = None,
     ) -> None:
         self._now = 0.0
         self._queue = EventQueue()
@@ -111,6 +117,9 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceCollector(enabled=False)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Optional replay sanitizer; observes every dispatched event
+        #: (passively — it never schedules) so two runs can be diffed.
+        self.sanitizer = sanitizer
         self._events_processed = 0
 
     # --- clock ------------------------------------------------------------
@@ -187,23 +196,25 @@ class Simulator:
         """
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive: {interval}")
-        state = {"event": None, "stopped": False}
+        pending: Event | None = None
+        stopped = False
 
         def fire() -> None:
-            if state["stopped"]:
+            nonlocal pending
+            if stopped:
                 return
             callback()
-            if not state["stopped"]:
-                state["event"] = self.call_later(interval, fire, tag=tag)
+            if not stopped:
+                pending = self.call_later(interval, fire, tag=tag)
 
         first = self._now + interval if start_at is None else start_at
-        state["event"] = self.call_at(first, fire, tag=tag)
+        pending = self.call_at(first, fire, tag=tag)
 
         def stop() -> None:
-            state["stopped"] = True
-            event = state["event"]
-            if event is not None:
-                event.cancel()
+            nonlocal stopped
+            stopped = True
+            if pending is not None:
+                pending.cancel()
 
         return stop
 
@@ -260,6 +271,7 @@ class Simulator:
         events_at_now = 0
         stalled_tags: Counter[str] = Counter()
         telemetry = self.telemetry
+        sanitizer = self.sanitizer
         collect = telemetry.enabled
         profile = telemetry.profile
         tag_counts: dict[str, int] = {}
@@ -308,6 +320,10 @@ class Simulator:
                     raise SimulationError(
                         f"wall-clock deadline of {wall_deadline:g}s exceeded at "
                         f"t={self._now:.6f} after {self._events_processed} events"
+                    )
+                if sanitizer is not None:
+                    sanitizer.observe(
+                        event.time, event.priority, event.tag, event.callback
                     )
                 if not collect:
                     event.callback()

@@ -1,0 +1,196 @@
+"""Runtime replay sanitizer: a rolling digest over dispatched events.
+
+The static pass (:mod:`repro.simcheck`) catches nondeterminism it can
+see syntactically; this module is the dynamic backstop.  A
+:class:`ReplaySanitizer` attached to the kernel observes every
+dispatched event as ``(time, priority, tag, payload)`` — the payload
+being a *stable* description of the callback (qualified name, never an
+``id()``) — folds it into a SHA-256 rolling digest, and journals a
+short per-event digest.  Running the same scenario twice and comparing
+sanitizers (:func:`diff_sanitizers`) then either proves the runs
+dispatched the identical event sequence or names the first divergent
+event with its index, timestamp, and tag.
+
+The sanitizer is strictly passive: it never schedules events, touches
+the RNG registry, or reads wall clocks, so a sanitized run dispatches
+exactly the same events as a bare one.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+#: Journal cap: at ~50 bytes/event this bounds memory near 25 MB while
+#: still locating divergence in any realistic scenario run.
+DEFAULT_JOURNAL_LIMIT = 500_000
+
+
+def describe_callback(callback: Callable[[], None]) -> str:
+    """A run-stable description of an event callback.
+
+    Uses qualified names (``NodeStack.admit_local``), unwrapping
+    ``functools.partial``; never identities or memory addresses, which
+    differ between two otherwise identical runs.
+    """
+    if isinstance(callback, functools.partial):
+        return f"partial({describe_callback(callback.func)})"
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return str(qualname)
+    return type(callback).__name__
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One observed event: enough to name a divergence point."""
+
+    index: int
+    time: float
+    tag: str
+    digest: str  # short hash of (time, priority, tag, payload)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first event at which two sanitized runs disagree."""
+
+    index: int
+    first: JournalEntry | None  # None when run A ended early
+    second: JournalEntry | None  # None when run B ended early
+
+    def render(self) -> str:
+        def side(entry: JournalEntry | None) -> str:
+            if entry is None:
+                return "<run ended>"
+            return f"t={entry.time:.9f} tag={entry.tag or '<untagged>'}"
+
+        return (
+            f"event #{self.index}: run A {side(self.first)} vs "
+            f"run B {side(self.second)}"
+        )
+
+
+class ReplaySanitizer:
+    """Rolling digest + journal of every dispatched event."""
+
+    def __init__(
+        self, *, journal_limit: int | None = DEFAULT_JOURNAL_LIMIT
+    ) -> None:
+        self._rolling = hashlib.sha256()
+        self.events = 0
+        self.journal: list[JournalEntry] = []
+        self.journal_limit = journal_limit
+        self.journal_dropped = 0
+
+    def observe(
+        self, time: float, priority: int, tag: str, callback: Callable[[], None]
+    ) -> None:
+        """Fold one dispatched event into the digest (kernel hook)."""
+        entry = f"{time!r}|{priority}|{tag}|{describe_callback(callback)}"
+        blob = entry.encode("utf-8")
+        self._rolling.update(blob)
+        if (
+            self.journal_limit is None
+            or len(self.journal) < self.journal_limit
+        ):
+            self.journal.append(
+                JournalEntry(
+                    index=self.events,
+                    time=time,
+                    tag=tag,
+                    digest=hashlib.sha256(blob).hexdigest()[:16],
+                )
+            )
+        else:
+            self.journal_dropped += 1
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        """Digest of everything observed so far."""
+        return self._rolling.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of comparing two sanitized runs of one scenario."""
+
+    matched: bool
+    digest_first: str
+    digest_second: str
+    events_first: int
+    events_second: int
+    divergence: Divergence | None
+    journal_truncated: bool
+
+    def render(self) -> str:
+        if self.matched:
+            return (
+                f"replay check passed: {self.events_first} events, "
+                f"digest {self.digest_first[:16]}…"
+            )
+        lines = [
+            "replay check FAILED: runs diverged",
+            f"  digests: {self.digest_first[:16]}… vs "
+            f"{self.digest_second[:16]}…",
+            f"  events:  {self.events_first} vs {self.events_second}",
+        ]
+        if self.divergence is not None:
+            lines.append(f"  first divergence: {self.divergence.render()}")
+        elif self.journal_truncated:
+            lines.append(
+                "  first divergence beyond the journal limit "
+                "(raise journal_limit to locate it)"
+            )
+        return "\n".join(lines)
+
+
+def diff_sanitizers(
+    first: ReplaySanitizer, second: ReplaySanitizer
+) -> ReplayReport:
+    """Compare two sanitized runs; locate the first divergent event."""
+    matched = (
+        first.hexdigest() == second.hexdigest()
+        and first.events == second.events
+    )
+    divergence: Divergence | None = None
+    truncated = bool(first.journal_dropped or second.journal_dropped)
+    if not matched:
+        for index in range(max(len(first.journal), len(second.journal))):
+            entry_a = (
+                first.journal[index] if index < len(first.journal) else None
+            )
+            entry_b = (
+                second.journal[index] if index < len(second.journal) else None
+            )
+            if (
+                entry_a is None
+                or entry_b is None
+                or entry_a.digest != entry_b.digest
+            ):
+                divergence = Divergence(
+                    index=index, first=entry_a, second=entry_b
+                )
+                break
+    return ReplayReport(
+        matched=matched,
+        digest_first=first.hexdigest(),
+        digest_second=second.hexdigest(),
+        events_first=first.events,
+        events_second=second.events,
+        divergence=divergence,
+        journal_truncated=truncated,
+    )
+
+
+__all__ = [
+    "DEFAULT_JOURNAL_LIMIT",
+    "Divergence",
+    "JournalEntry",
+    "ReplayReport",
+    "ReplaySanitizer",
+    "describe_callback",
+    "diff_sanitizers",
+]

@@ -1,0 +1,46 @@
+"""simcheck: determinism, layering, and passivity static analysis.
+
+The repo's core guarantees — runs replay identically given a seed,
+telemetry is strictly passive, modules respect the dependency DAG —
+are cheap to break silently: one ``random.random()``, one iteration
+over a ``set`` in an event handler, one telemetry import of the
+kernel.  ``simcheck`` walks the AST of every source file and flags
+exactly those hazards at review time, before a golden test has to
+catch them at run time.
+
+Rule families (see :data:`RULES` and docs/DETERMINISM.md):
+
+* ``DET0xx`` — determinism: entropy sources outside ``sim/rng.py``,
+  wall-clock reads, unordered-set iteration, hash/identity-order
+  sorting, float accumulation over unordered collections;
+* ``LAY0xx`` — layering: the module dependency DAG, with the
+  telemetry/kernel separation called out specially;
+* ``PAS0xx`` — passivity: telemetry instrument call sites must be
+  side-effect-free expressions.
+
+Usage::
+
+    python -m repro.simcheck src/
+    python -m repro.simcheck src/ --update-baseline
+
+Suppressions: append ``# simcheck: allow[RULE] reason`` to the
+offending line, or put ``# simcheck: allow-file[RULE] reason`` on a
+comment line to suppress a rule for a whole file.  Grandfathered
+findings live in ``simcheck-baseline.json``; CI fails on new findings
+*and* on stale baseline entries, so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.simcheck.baseline import Baseline, match_baseline
+from repro.simcheck.findings import Finding, RULES
+from repro.simcheck.rules import check_file, check_paths
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "RULES",
+    "check_file",
+    "check_paths",
+    "match_baseline",
+]

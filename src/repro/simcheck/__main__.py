@@ -1,0 +1,120 @@
+"""CLI: ``python -m repro.simcheck src/``.
+
+Exit codes: 0 — clean (no findings beyond the baseline, no stale
+baseline entries); 1 — new findings and/or stale baseline entries;
+2 — usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.simcheck.baseline import Baseline, match_baseline
+from repro.simcheck.findings import RULES
+from repro.simcheck.rules import check_paths
+
+DEFAULT_BASELINE = "simcheck-baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simcheck", description=__doc__
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/"], help="files or directories"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE}; a missing "
+        "file means an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current findings",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    for raw in args.paths:
+        if not Path(raw).exists():
+            print(f"error: no such path: {raw}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = check_paths(args.paths)
+    except SyntaxError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(
+            f"simcheck: wrote {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline or not baseline_path.exists():
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    match = match_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [vars(f) for f in match.new],
+                    "grandfathered": [vars(f) for f in match.grandfathered],
+                    "stale": [
+                        {"rule": rule, "path": path, "line": line}
+                        for rule, path, line in match.stale
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in match.new:
+            print(finding.render())
+        for rule, path, line in match.stale:
+            print(
+                f"{path}: stale baseline entry {rule} "
+                f"(no longer matches: {line!r})"
+            )
+        summary = (
+            f"simcheck: {len(match.new)} new finding(s), "
+            f"{len(match.grandfathered)} grandfathered, "
+            f"{len(match.stale)} stale baseline entr(y/ies)"
+        )
+        print(summary)
+    return 0 if match.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

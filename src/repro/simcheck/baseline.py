@@ -1,0 +1,112 @@
+"""Baseline handling: grandfathered findings that may only shrink.
+
+A baseline entry identifies a finding by ``(rule, path, stripped
+source line)`` — deliberately *not* the line number, so unrelated
+edits above a grandfathered finding do not invalidate the baseline.
+The contract is ratchet-shaped: a finding not in the baseline is
+**new** (CI fails), and a baseline entry with no matching finding is
+**stale** (CI also fails, forcing the entry's removal), so the
+baseline can never silently accumulate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.simcheck.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        entries = data.get("findings", [])
+        for entry in entries:
+            missing = {"rule", "path", "line"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"{path}: baseline entry missing {sorted(missing)}: {entry}"
+                )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.source_line,
+                }
+                for finding in findings
+            ]
+        )
+
+    def keys(self) -> list[tuple[str, str, str]]:
+        return [
+            (entry["rule"], entry["path"], entry["line"])
+            for entry in self.entries
+        ]
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["rule"], e["line"]),
+            ),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of reconciling findings against a baseline."""
+
+    new: list[Finding]
+    grandfathered: list[Finding]
+    stale: list[tuple[str, str, str]]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def match_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> BaselineMatch:
+    """Split findings into new vs. grandfathered, and report baseline
+    entries that no longer match anything (stale).
+
+    Matching is multiset-style: two identical findings need two
+    baseline entries.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for key in baseline.keys():
+        budget[key] = budget.get(key, 0) + 1
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [key for key, count in sorted(budget.items()) for _ in range(count)]
+    return BaselineMatch(new=new, grandfathered=grandfathered, stale=stale)

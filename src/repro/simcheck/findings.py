@@ -1,0 +1,79 @@
+"""Finding records and the rule catalogue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every rule simcheck knows, with the one-line rationale shown by
+#: ``--list-rules`` (the long form lives in docs/DETERMINISM.md).
+RULES: dict[str, str] = {
+    "DET001": (
+        "wall-clock read (time.time/monotonic/perf_counter, datetime.now, "
+        "...) in simulation code; simulated time comes from Simulator.now"
+    ),
+    "DET002": (
+        "stdlib `random` used; draw from a named stream via sim.rng so "
+        "consumers cannot perturb each other"
+    ),
+    "DET003": (
+        "ambient entropy source (os.urandom, secrets, uuid.uuid1/uuid4); "
+        "runs must be a pure function of (model, seed)"
+    ),
+    "DET004": (
+        "numpy RNG constructed or drawn outside sim/rng.py; route draws "
+        "through RngRegistry named streams"
+    ),
+    "DET005": (
+        "iteration over a set expression; set order is hash-dependent — "
+        "wrap in sorted() or iterate an ordered container"
+    ),
+    "DET006": (
+        "sorting keyed on id()/repr(); identity and repr order are not "
+        "stable across runs — use a semantic key "
+        "(telemetry.stable_instrument_key for instruments)"
+    ),
+    "DET007": (
+        "float accumulation (sum) over a set expression; addition order "
+        "is hash-dependent — sum a sorted sequence"
+    ),
+    "LAY001": (
+        "module dependency DAG violation; see the layer table in "
+        "docs/DETERMINISM.md"
+    ),
+    "LAY002": (
+        "telemetry imports the simulation kernel (sim.kernel/sim.rng/"
+        "sim.event); telemetry must stay passively below the kernel "
+        "(only the sim.trace data module is allowed)"
+    ),
+    "LAY003": (
+        "telemetry code calls a scheduling API (call_at/call_later/every/"
+        "schedule); telemetry may never schedule simulation events"
+    ),
+    "PAS001": (
+        "assignment expression (walrus) inside a telemetry instrument "
+        "call; instrument arguments must be side-effect-free"
+    ),
+    "PAS002": (
+        "mutating method call inside a telemetry instrument argument; "
+        "disabling telemetry must not change program state"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    source_line: str  # stripped text of the offending line
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line-number churn."""
+        return (self.rule, self.path, self.source_line)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,123 @@
+"""The module dependency DAG.
+
+Each top-level module of the ``repro`` package is a layer; a module may
+import only the layers listed for it here.  Entries may name a specific
+submodule (``"sim.trace"``) to carve out a narrower allowance than the
+whole layer: ``telemetry`` may import the passive ``sim.trace`` data
+container but never the kernel, the RNG registry, or the event queue —
+that separation is what makes "telemetry cannot perturb a run" an
+architectural property instead of a testing hope.
+
+``__init__`` and ``__main__`` sit above everything (they are the public
+API surface and the CLI); ``scenarios`` is the assembly layer just
+below them.  ``simcheck`` itself depends on nothing but ``errors`` so
+it can never be contaminated by the code it audits.
+"""
+
+from __future__ import annotations
+
+#: module (top-level segment under ``repro``) -> importable layers.
+#: A value of ``None`` means "anything" (top-of-stack modules).
+ALLOWED_IMPORTS: dict[str, set[str] | None] = {
+    "errors": set(),
+    "units": set(),
+    "simcheck": {"errors"},
+    "telemetry": {"errors", "units", "sim.trace"},
+    "sim": {"errors", "units", "telemetry"},
+    "topology": {"errors", "units", "sim.rng"},
+    "routing": {"errors", "units", "topology"},
+    "flows": {"errors", "units", "sim", "telemetry"},
+    "mac": {"errors", "units", "sim", "telemetry", "flows", "topology"},
+    "buffers": {"errors", "units", "telemetry", "flows", "topology"},
+    "stack": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "mac",
+        "buffers",
+    },
+    "baselines": {"errors", "units", "flows", "topology", "routing", "buffers"},
+    "core": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "mac",
+        "buffers",
+        "stack",
+    },
+    "faults": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "mac",
+        "buffers",
+        "stack",
+        "core",
+    },
+    "analysis": {
+        "errors",
+        "units",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+    },
+    "scenarios": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "mac",
+        "buffers",
+        "stack",
+        "core",
+        "baselines",
+        "faults",
+        "analysis",
+    },
+    "__init__": None,
+    "__main__": None,
+}
+
+#: telemetry -> these sim submodules is the separation the replay
+#: sanitizer and the golden-digest tests rest on; it gets its own rule
+#: id (LAY002) so the finding explains itself.
+KERNEL_SUBMODULES = {"sim.kernel", "sim.rng", "sim.event", "sim.replay"}
+
+#: Scheduling attributes telemetry code may never call (LAY003).
+SCHEDULING_CALLS = {"call_at", "call_later", "every", "schedule"}
+
+
+def import_allowed(importer_top: str, imported: str) -> bool:
+    """May ``importer_top`` (layer) import ``imported`` (dotted path
+    relative to ``repro``, e.g. ``"sim.kernel"``)?"""
+    if importer_top not in ALLOWED_IMPORTS:
+        return True  # unknown module: no layering opinion
+    allowed = ALLOWED_IMPORTS[importer_top]
+    if allowed is None:
+        return True  # __init__/__main__ are explicitly unrestricted
+    imported_top = imported.split(".")[0]
+    if imported_top == importer_top:
+        return True  # intra-layer imports are free
+    if imported in allowed or imported_top in allowed:
+        return True
+    # A narrower submodule allowance ("sim.trace") admits exactly that
+    # subtree.
+    return any(
+        imported == entry or imported.startswith(entry + ".")
+        for entry in allowed
+        if "." in entry
+    )

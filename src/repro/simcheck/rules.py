@@ -1,0 +1,535 @@
+"""The AST pass behind ``python -m repro.simcheck``.
+
+One walk per file, three rule families (determinism, layering,
+passivity); see :data:`repro.simcheck.findings.RULES` for the
+catalogue and docs/DETERMINISM.md for the rationale behind each rule.
+
+The checker is purely syntactic — it resolves import aliases
+(``import time as _time`` still trips DET001) but does no type
+inference, so it flags *expressions that are sets* (literals,
+``set()``/``frozenset()`` calls, comprehensions, and set-operator
+combinations of those), not variables that merely happen to hold sets.
+That keeps it fast, zero-dependency, and free of false positives on
+ordinary code; the runtime replay sanitizer (:mod:`repro.sim.replay`)
+is the dynamic backstop for what a syntactic pass cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.simcheck.findings import Finding
+from repro.simcheck.layering import (
+    KERNEL_SUBMODULES,
+    SCHEDULING_CALLS,
+    import_allowed,
+)
+
+#: Wall-clock reads (dotted, alias-resolved) flagged by DET001.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Ambient entropy (DET003).
+_ENTROPY_CALLS = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+_ENTROPY_MODULES = {"secrets"}
+
+#: Identity/repr sort keys (DET006).
+_UNSTABLE_SORT_KEYS = {"id", "repr"}
+
+#: Methods that mutate their receiver (PAS002).
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+    "write",
+}
+
+#: Attribute names that mark a call as a telemetry instrument mutation.
+#: ``inc``/``record``/``record_changed`` are distinctive enough on any
+#: receiver; the generic names additionally require a telemetry-ish
+#: token somewhere in the receiver chain.
+_INSTRUMENT_ATTRS_ALWAYS = {"inc", "record", "record_changed"}
+_INSTRUMENT_ATTRS_TOKENED = {"set", "update", "emit", "event", "observe"}
+_TELEMETRY_TOKENS = {
+    "telemetry",
+    "registry",
+    "metrics",
+    "counter",
+    "gauge",
+    "series",
+    "histogram",
+    "hist",
+    "instrument",
+    "trace",
+    "tracer",
+    "_tm",
+    "tm",
+    "sanitizer",
+}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simcheck:\s*(allow-file|allow|module)\b\s*(?:\[([^\]]*)\])?\s*(\S*)"
+)
+
+
+def _parse_pragmas(
+    lines: Sequence[str],
+) -> tuple[dict[int, set[str]], set[str], str | None]:
+    """Extract suppression pragmas and the module override.
+
+    Returns ``(line -> allowed rules, file-wide allowed rules,
+    module override)``; the rule set ``{"*"}`` allows everything.
+    """
+    inline: dict[int, set[str]] = {}
+    filewide: set[str] = set()
+    module_override: str | None = None
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        kind, rules_text, tail = match.groups()
+        if kind == "module":
+            module_override = tail or None
+            continue
+        rules = {part.strip() for part in (rules_text or "*").split(",")}
+        rules.discard("")
+        if kind == "allow":
+            inline.setdefault(lineno, set()).update(rules)
+        else:
+            filewide.update(rules)
+    return inline, filewide, module_override
+
+
+def _module_path_for(path: Path) -> str | None:
+    """Dotted path relative to the ``repro`` package, or None when the
+    file does not live under one (fixtures use a pragma instead)."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    rel = parts[parts.index("repro") + 1 :]
+    if not rel:
+        return None
+    rel[-1] = rel[-1].removesuffix(".py")
+    return ".".join(rel)
+
+
+class _AliasTable:
+    """Alias-resolved dotted names for imports in one file."""
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._names[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self._names[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}"
+            )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted source path of a Name/Attribute chain, or None."""
+        chain: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self._names.get(current.id, current.id)
+        chain.append(base)
+        return ".".join(reversed(chain))
+
+
+def _is_set_expr(node: ast.expr, aliases: _AliasTable) -> bool:
+    """Is this expression syntactically a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = aliases.resolve(node.func)
+        return resolved in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, aliases) or _is_set_expr(
+            node.right, aliases
+        )
+    return False
+
+
+def _receiver_tokens(node: ast.expr) -> set[str]:
+    """Identifiers appearing anywhere in a call-receiver chain."""
+    tokens: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+    return tokens
+
+
+class _FileChecker(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: Path,
+        display_path: str,
+        lines: Sequence[str],
+        module: str | None,
+        known_modules: set[str],
+    ) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.lines = lines
+        self.module = module
+        self.module_top = module.split(".")[0] if module else None
+        self.known_modules = known_modules
+        self.aliases = _AliasTable()
+        self.findings: list[Finding] = []
+        # numpy-RNG rule exempts the one module whose job is seeding.
+        self.is_rng_module = module == "sim.rng"
+        self.in_telemetry = bool(module and self.module_top == "telemetry")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        source = (
+            self.lines[lineno - 1].strip() if lineno <= len(self.lines) else ""
+        )
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.display_path,
+                line=lineno,
+                col=col + 1,
+                message=message,
+                source_line=source,
+            )
+        )
+
+    # -- imports: aliases + DET002/DET003 + layering -----------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.visit_import(node)
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if top == "random":
+                self._emit(
+                    "DET002", node, f"import of stdlib random ({alias.name})"
+                )
+            elif top in _ENTROPY_MODULES:
+                self._emit("DET003", node, f"import of {alias.name}")
+            self._check_layering(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.visit_import_from(node)
+        module = node.module or ""
+        top = module.split(".")[0]
+        if top == "random":
+            self._emit("DET002", node, "import from stdlib random")
+        elif top in _ENTROPY_MODULES:
+            self._emit("DET003", node, f"import from {module}")
+        elif module == "numpy.random" and not self.is_rng_module:
+            self._emit(
+                "DET004",
+                node,
+                "import from numpy.random outside sim/rng.py",
+            )
+        for target in self._from_import_targets(node):
+            self._check_layering(node, target)
+        self.generic_visit(node)
+
+    def _from_import_targets(self, node: ast.ImportFrom) -> Iterable[str]:
+        """Absolute dotted modules a ``from X import y`` pulls in."""
+        if node.level:
+            if self.module is None:
+                return []
+            package = ["repro"] + self.module.split(".")[:-1]
+            package = package[: len(package) - (node.level - 1)]
+            base = ".".join(package + ([node.module] if node.module else []))
+        else:
+            base = node.module or ""
+        if not base:
+            return []
+        targets = []
+        for alias in node.names:
+            candidate = f"{base}.{alias.name}"
+            rel = candidate.removeprefix("repro.")
+            # `from repro.sim import kernel` imports the submodule;
+            # `from repro.sim.kernel import Simulator` imports a symbol.
+            if candidate != rel and rel in self.known_modules:
+                targets.append(candidate)
+            else:
+                targets.append(base)
+        return targets
+
+    def _check_layering(self, node: ast.AST, imported: str) -> None:
+        if self.module is None or self.module_top is None:
+            return
+        if imported == "repro" or not imported.startswith("repro."):
+            return
+        rel = imported.removeprefix("repro.")
+        rel_top = rel.split(".")[0]
+        if self.in_telemetry and (
+            rel in KERNEL_SUBMODULES
+            or (rel_top == "sim" and not import_allowed("telemetry", rel))
+        ):
+            self._emit(
+                "LAY002",
+                node,
+                f"telemetry imports {imported} (only the passive "
+                "sim.trace data module is allowed)",
+            )
+            return
+        if not import_allowed(self.module_top, rel):
+            self._emit(
+                "LAY001",
+                node,
+                f"layer '{self.module_top}' may not import repro.{rel}",
+            )
+
+    # -- calls: DET001/003/004/006, LAY003, PAS001/002 ---------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.aliases.resolve(node.func)
+        if resolved is not None:
+            if resolved in _WALL_CLOCK_CALLS:
+                self._emit("DET001", node, f"wall-clock read {resolved}()")
+            elif resolved in _ENTROPY_CALLS or resolved.startswith("secrets."):
+                self._emit("DET003", node, f"entropy source {resolved}()")
+            elif resolved.startswith("random."):
+                self._emit("DET002", node, f"stdlib random call {resolved}()")
+            elif (
+                resolved.startswith("numpy.random.")
+                and not self.is_rng_module
+            ):
+                self._emit(
+                    "DET004",
+                    node,
+                    f"{resolved}() outside sim/rng.py — use "
+                    "RngRegistry.stream(name)",
+                )
+            if resolved in {"sorted", "min", "max"}:
+                self._check_sort_key(node)
+            if resolved == "sum" and node.args and _is_set_expr(
+                node.args[0], self.aliases
+            ):
+                self._emit(
+                    "DET007",
+                    node,
+                    "sum() over a set expression accumulates floats in "
+                    "hash order",
+                )
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "sort":
+                self._check_sort_key(node)
+            if (
+                self.in_telemetry
+                and node.func.attr in SCHEDULING_CALLS
+            ):
+                self._emit(
+                    "LAY003",
+                    node,
+                    f"telemetry calls scheduling API .{node.func.attr}()",
+                )
+            self._check_instrument_args(node)
+        self.generic_visit(node)
+
+    def _check_sort_key(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in _UNSTABLE_SORT_KEYS
+            ):
+                self._emit(
+                    "DET006",
+                    node,
+                    f"sort keyed on {value.id}() is not stable across runs",
+                )
+
+    def _check_instrument_args(self, node: ast.Call) -> None:
+        assert isinstance(node.func, ast.Attribute)
+        attr = node.func.attr
+        if attr in _INSTRUMENT_ATTRS_ALWAYS:
+            pass
+        elif attr in _INSTRUMENT_ATTRS_TOKENED:
+            if not (_receiver_tokens(node.func.value) & _TELEMETRY_TOKENS):
+                return
+        else:
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.NamedExpr):
+                    self._emit(
+                        "PAS001",
+                        sub,
+                        f"walrus assignment inside .{attr}() argument",
+                    )
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATORS
+                ):
+                    self._emit(
+                        "PAS002",
+                        sub,
+                        f".{sub.func.attr}() mutation inside .{attr}() "
+                        "argument",
+                    )
+
+    # -- iteration: DET005 -------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iterable(gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_iters(node)
+        self.generic_visit(node)
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        if _is_set_expr(iterable, self.aliases):
+            self._emit(
+                "DET005",
+                iterable,
+                "iteration over a set expression visits elements in hash "
+                "order — wrap in sorted()",
+            )
+
+
+def check_file(
+    path: Path,
+    *,
+    display_path: str | None = None,
+    known_modules: set[str] | None = None,
+) -> list[Finding]:
+    """Run every rule over one file; suppressions already applied."""
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    inline, filewide, module_override = _parse_pragmas(lines)
+    if module_override is not None:
+        module = module_override.removeprefix("repro.")
+    else:
+        module = _module_path_for(path)
+    checker = _FileChecker(
+        path,
+        display_path or path.as_posix(),
+        lines,
+        module,
+        known_modules or set(),
+    )
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        raise SyntaxError(f"{path}: {error}") from error
+    checker.visit(tree)
+    kept = []
+    for finding in checker.findings:
+        allowed = inline.get(finding.line, set()) | filewide
+        if "*" in allowed or finding.rule in allowed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def check_paths(
+    paths: Iterable[str | Path], *, root: Path | None = None
+) -> list[Finding]:
+    """Check every ``.py`` file under ``paths``.
+
+    ``root`` (default: CWD) anchors the repo-relative display paths so
+    baseline entries do not depend on where the tool is invoked from.
+    """
+    root = (root or Path.cwd()).resolve()
+    files = _collect_files(paths)
+    known = {
+        mod
+        for file in files
+        if (mod := _module_path_for(file)) is not None
+    }
+    findings: list[Finding] = []
+    for file in files:
+        resolved = file.resolve()
+        try:
+            display = resolved.relative_to(root).as_posix()
+        except ValueError:
+            display = file.as_posix()
+        findings.extend(
+            check_file(file, display_path=display, known_modules=known)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -37,6 +37,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     Series,
     TimeWeightedHistogram,
+    stable_instrument_key,
 )
 
 #: Cap on stored telemetry events; excess events are counted, not kept.
@@ -120,4 +121,5 @@ __all__ = [
     "Telemetry",
     "TelemetryEvent",
     "TimeWeightedHistogram",
+    "stable_instrument_key",
 ]

@@ -27,6 +27,7 @@ from repro.telemetry.registry import (
     Gauge,
     Series,
     TimeWeightedHistogram,
+    stable_instrument_key,
 )
 
 #: Simulation seconds -> trace microseconds.
@@ -263,7 +264,7 @@ def format_summary(telemetry: Telemetry, *, top: int = 12) -> str:
                 "kernel.handler_wall_seconds"
             )
         }
-        for tag, value in sorted(tag_counts, key=lambda kv: -kv[1])[:top]:
+        for tag, value in sorted(tag_counts, key=lambda kv: (-kv[1], kv[0]))[:top]:
             suffix = f"  {wall[tag] * 1e3:10.2f} ms" if tag in wall else ""
             lines.append(f"  {tag:<28} {int(value):>10}{suffix}")
         throughput = next(
@@ -282,7 +283,11 @@ def format_summary(telemetry: Telemetry, *, top: int = 12) -> str:
     if counters:
         lines.append("")
         lines.append(f"top counters (of {len(counters)} non-zero)")
-        for instrument in sorted(counters, key=lambda c: -c.value)[:top]:
+        # Rank by value; break ties with the canonical instrument key
+        # so equal counters cannot swap lines between runs.
+        for instrument in sorted(
+            counters, key=lambda c: (-c.value, stable_instrument_key(c))
+        )[:top]:
             lines.append(
                 f"  {instrument.name + _label_suffix(instrument.labels):<44}"
                 f" {instrument.value:>12.3f}"

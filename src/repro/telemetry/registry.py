@@ -19,7 +19,7 @@ Design goals, in order:
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigError
 
@@ -32,6 +32,27 @@ LabelKey = tuple[tuple[str, Any], ...]
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))
+
+
+def stable_instrument_key(
+    instrument: "Instrument",
+) -> tuple[str, str, tuple[tuple[str, str], ...]]:
+    """Canonical ``(kind, name, sorted stringified labels)`` sort key.
+
+    The one ordering every consumer of labeled instruments — the
+    registry iterator, the exporters, tests — must share.  Label
+    values are stringified so mixed int/str labels under the same
+    metric name stay comparable; nothing here depends on ``id()``,
+    ``repr()`` formatting, or hash order.
+    """
+    return (
+        instrument.kind,
+        instrument.name,
+        tuple(
+            (key, str(value))
+            for key, value in sorted(instrument.labels.items())
+        ),
+    )
 
 
 class Instrument:
@@ -262,7 +283,11 @@ class MetricsRegistry:
         return len(self._instruments)
 
     def _get(
-        self, kind: str, name: str, labels: dict[str, Any], factory
+        self,
+        kind: str,
+        name: str,
+        labels: dict[str, Any],
+        factory: Callable[[], Instrument],
     ) -> Instrument:
         key = (kind, name, _label_key(labels))
         instrument = self._instruments.get(key)
@@ -305,9 +330,10 @@ class MetricsRegistry:
 
     def instruments(self, name: str | None = None) -> Iterator[Instrument]:
         """All instruments (optionally filtered by exact name), in
-        deterministic (kind, name, labels) order."""
-        for key in sorted(self._instruments, key=repr):
-            instrument = self._instruments[key]
+        the canonical :func:`stable_instrument_key` order."""
+        for instrument in sorted(
+            self._instruments.values(), key=stable_instrument_key
+        ):
             if name is None or instrument.name == name:
                 yield instrument
 

@@ -6,18 +6,18 @@ sets (used by GMP's dissemination), the link contention graph, and
 maximal ("proper") contention cliques.
 """
 
-from repro.topology.node import Node
-from repro.topology.network import Link, Topology, link, reverse
 from repro.topology.builders import (
     chain_topology,
     grid_topology,
     parallel_chains_topology,
     random_topology,
 )
-from repro.topology.neighbors import one_hop_neighbors, two_hop_neighbors
-from repro.topology.dominating import dominating_set
-from repro.topology.contention import ContentionGraph, links_contend
 from repro.topology.cliques import Clique, maximal_cliques
+from repro.topology.contention import ContentionGraph, links_contend
+from repro.topology.dominating import dominating_set
+from repro.topology.neighbors import one_hop_neighbors, two_hop_neighbors
+from repro.topology.network import Link, Topology, link, reverse
+from repro.topology.node import Node
 
 __all__ = [
     "Node",

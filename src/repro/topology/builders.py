@@ -10,11 +10,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.sim.rng import RngRegistry
 from repro.topology.network import (
     DEFAULT_CS_RANGE,
     DEFAULT_TX_RANGE,
     Topology,
 )
+
+#: Named stream for random node placement.  Routing topology draws
+#: through the registry (instead of a raw ``np.random.default_rng``)
+#: keeps them isolated from every protocol/MAC stream: a topology
+#: redraw can never perturb backoff or traffic randomness, and vice
+#: versa.
+PLACEMENT_STREAM = "topology.random_placement"
 
 
 def chain_topology(
@@ -143,7 +151,7 @@ def random_topology(
         raise TopologyError(f"need at least one node, got {num_nodes}")
     if max_attempts < 1:
         raise TopologyError(f"max_attempts must be >= 1: {max_attempts}")
-    rng = np.random.default_rng(seed)
+    rng = RngRegistry(seed).stream(PLACEMENT_STREAM)
     range_ratio = cs_range / tx_range
     diagonal = float(np.hypot(width, height))
     while True:

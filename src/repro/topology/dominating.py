@@ -13,8 +13,8 @@ Minimum set cover is NP-hard; we use the standard greedy
 from __future__ import annotations
 
 from repro.errors import TopologyError
-from repro.topology.network import Topology
 from repro.topology.neighbors import two_hop_neighbors
+from repro.topology.network import Topology
 
 
 def dominating_set(topology: Topology, node_id: int) -> frozenset[int]:

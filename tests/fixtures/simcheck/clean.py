@@ -1,0 +1,22 @@
+"""Fixture: patterns simcheck must NOT flag, plus suppression pragmas."""
+# simcheck: module repro.telemetry.clean
+
+import time as _time  # importing time is fine; calling it is not
+
+
+def ordered(active, alloc) -> list:
+    # sorted() over a set expression is the sanctioned fix for DET005.
+    return [link for link in sorted(active - set(alloc))]
+
+
+def membership(alloc, link) -> bool:
+    # Building/consulting sets without iterating them is fine.
+    return link in {(_a, _b) for _a, _b in alloc}
+
+
+def suppressed() -> float:
+    return _time.monotonic()  # simcheck: allow[DET001] fixture suppression
+
+
+def semantic_sort(instruments) -> list:
+    return sorted(instruments, key=lambda i: (i.kind, i.name))

@@ -1,0 +1,7 @@
+"""Fixture: DET001 — wall-clock read in simulation code."""
+
+import time as _time
+
+
+def handler() -> float:
+    return _time.monotonic()  # line 7: DET001

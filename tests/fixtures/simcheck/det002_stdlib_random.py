@@ -1,0 +1,7 @@
+"""Fixture: DET002 — stdlib random import."""
+
+import random  # line 3: DET002
+
+
+def draw() -> float:
+    return random.random()  # line 7: DET002 (call)

@@ -1,0 +1,7 @@
+"""Fixture: DET003 — ambient entropy source."""
+
+import os
+
+
+def token() -> bytes:
+    return os.urandom(16)  # line 7: DET003

@@ -1,0 +1,7 @@
+"""Fixture: DET004 — numpy RNG constructed outside sim/rng.py."""
+
+import numpy as np
+
+
+def build(seed: int):
+    return np.random.default_rng(seed)  # line 7: DET004

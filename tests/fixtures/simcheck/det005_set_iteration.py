@@ -1,0 +1,8 @@
+"""Fixture: DET005 — iteration over a set expression."""
+
+
+def spread(active, alloc) -> list:
+    out = []
+    for link in active - set(alloc):  # line 6: DET005
+        out.append(link)
+    return out

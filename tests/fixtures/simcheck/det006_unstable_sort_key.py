@@ -1,0 +1,5 @@
+"""Fixture: DET006 — sorting keyed on id()/repr()."""
+
+
+def order(instruments) -> list:
+    return sorted(instruments, key=repr)  # line 5: DET006

@@ -1,0 +1,5 @@
+"""Fixture: DET007 — float accumulation over a set expression."""
+
+
+def total(rates) -> float:
+    return sum({round(rate, 3) for rate in rates})  # line 5: DET007

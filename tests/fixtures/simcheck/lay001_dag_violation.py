@@ -1,0 +1,6 @@
+"""Fixture: LAY001 — a lower layer importing an upper layer."""
+# simcheck: module repro.routing.bad_import
+
+from repro.scenarios.runner import run_scenario  # line 4: LAY001
+
+__all__ = ["run_scenario"]

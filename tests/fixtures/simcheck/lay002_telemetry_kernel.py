@@ -1,0 +1,6 @@
+"""Fixture: LAY002 — telemetry importing the simulation kernel."""
+# simcheck: module repro.telemetry.bad_kernel_import
+
+from repro.sim.kernel import Simulator  # line 4: LAY002
+
+__all__ = ["Simulator"]

@@ -1,0 +1,6 @@
+"""Fixture: LAY003 — telemetry code scheduling a simulation event."""
+# simcheck: module repro.telemetry.bad_scheduler
+
+
+def flush_later(sim, flush) -> None:
+    sim.call_later(1.0, flush)  # line 6: LAY003

@@ -1,0 +1,6 @@
+"""Fixture: PAS001 — walrus assignment inside an instrument call."""
+
+
+def sample(telemetry, queue) -> None:
+    telemetry.event(0.0, "buffer.len", n=(depth := len(queue)))  # line 5: PAS001
+    print(depth)

@@ -1,0 +1,5 @@
+"""Fixture: PAS002 — mutating method call inside an instrument argument."""
+
+
+def drain(counter, queue) -> None:
+    counter.inc(queue.pop())  # line 5: PAS002

@@ -1,8 +1,8 @@
 """Smoke tests: every example script runs end to end (fast settings)."""
 
+import pathlib
 import subprocess
 import sys
-import pathlib
 
 import pytest
 

@@ -11,14 +11,13 @@ from repro.analysis.maxmin_reference import weighted_maxmin_rates
 from repro.core.config import GmpConfig
 from repro.core.protocol import GmpProtocol
 from repro.errors import ConfigError, ProtocolError
-from repro.flows.flow import Flow
+from repro.flows.flow import Flow, FlowSet
 from repro.routing.link_state import link_state_routes
 from repro.scenarios.figures import Scenario, figure2, figure3
 from repro.scenarios.runner import run_scenario
 from repro.topology.builders import chain_topology
 from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph
-from repro.flows.flow import FlowSet
 
 FAST = GmpConfig(period=0.5, additive_increase=4.0)
 

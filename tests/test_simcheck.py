@@ -1,0 +1,135 @@
+"""simcheck: every rule fires on its fixture, the committed tree is
+clean against the committed baseline, and the baseline ratchet
+(new/grandfathered/stale) plus the suppression pragmas behave."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.simcheck import Baseline, check_file, check_paths, match_baseline
+from repro.simcheck.__main__ import main as simcheck_main
+from repro.simcheck.findings import RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "simcheck"
+
+#: fixture file -> exact set of (rule, line) findings it must produce.
+EXPECTED = {
+    "det001_wall_clock.py": {("DET001", 7)},
+    "det002_stdlib_random.py": {("DET002", 3), ("DET002", 7)},
+    "det003_entropy.py": {("DET003", 7)},
+    "det004_numpy_rng.py": {("DET004", 7)},
+    "det005_set_iteration.py": {("DET005", 6)},
+    "det006_unstable_sort_key.py": {("DET006", 5)},
+    "det007_set_sum.py": {("DET007", 5)},
+    "lay001_dag_violation.py": {("LAY001", 4)},
+    "lay002_telemetry_kernel.py": {("LAY002", 4)},
+    "lay003_telemetry_schedule.py": {("LAY003", 6)},
+    "pas001_walrus.py": {("PAS001", 5)},
+    "pas002_mutation.py": {("PAS002", 5)},
+    "clean.py": set(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_triggers_exactly_its_rule(name):
+    findings = check_file(FIXTURES / name)
+    assert {(f.rule, f.line) for f in findings} == EXPECTED[name]
+    for finding in findings:
+        assert finding.rule in RULES
+        assert finding.path.endswith(name)
+        assert finding.source_line  # baseline key must be non-empty
+
+
+def test_every_rule_id_is_covered_by_a_fixture():
+    covered = {rule for expected in EXPECTED.values() for rule, _ in expected}
+    assert covered == set(RULES)
+
+
+def test_committed_tree_is_clean_against_committed_baseline():
+    findings = check_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / "simcheck-baseline.json")
+    match = match_baseline(findings, baseline)
+    assert match.new == [], [f.render() for f in match.new]
+    assert match.stale == []
+
+
+def test_baseline_ratchet_new_grandfathered_stale():
+    findings = check_file(FIXTURES / "det004_numpy_rng.py")
+    assert len(findings) == 1
+    baseline = Baseline.from_findings(findings)
+    # Same findings: grandfathered, clean.
+    match = match_baseline(findings, baseline)
+    assert match.clean and len(match.grandfathered) == 1
+    # Extra finding: new, not clean.
+    extra = check_file(FIXTURES / "det002_stdlib_random.py")
+    match = match_baseline(findings + extra, baseline)
+    assert not match.clean and len(match.new) == len(extra)
+    # Fixed finding: the baseline entry goes stale, also not clean.
+    match = match_baseline([], baseline)
+    assert not match.clean and len(match.stale) == 1
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = check_file(FIXTURES / "det001_wall_clock.py")
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).write(path)
+    assert match_baseline(findings, Baseline.load(path)).clean
+
+
+def test_inline_and_filewide_suppressions(tmp_path):
+    offender = "import time\n\n\ndef f():\n    return time.time()\n"
+    path = tmp_path / "mod.py"
+    path.write_text(offender)
+    assert [f.rule for f in check_file(path)] == ["DET001"]
+    path.write_text(
+        offender.replace(
+            "return time.time()",
+            "return time.time()  # simcheck: allow[DET001] test",
+        )
+    )
+    assert check_file(path) == []
+    path.write_text("# simcheck: allow-file[DET001] test\n" + offender)
+    assert check_file(path) == []
+
+
+def test_unrelated_rule_suppression_does_not_hide_finding(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # simcheck: allow[DET005] wrong rule\n"
+    )
+    assert [f.rule for f in check_file(path)] == ["DET001"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n")
+    baseline = tmp_path / "baseline.json"
+
+    assert simcheck_main([str(clean), "--baseline", str(baseline)]) == 0
+    assert simcheck_main([str(dirty), "--baseline", str(baseline)]) == 1
+    assert (
+        simcheck_main(
+            [str(dirty), "--baseline", str(baseline), "--update-baseline"]
+        )
+        == 0
+    )
+    assert simcheck_main([str(dirty), "--baseline", str(baseline)]) == 0
+    # Fixing the finding leaves the entry stale -> fail until removed.
+    dirty.write_text("VALUE = 2\n")
+    assert simcheck_main([str(dirty), "--baseline", str(baseline)]) == 1
+    assert simcheck_main([str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert simcheck_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out

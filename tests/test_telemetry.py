@@ -12,16 +12,16 @@ from repro.telemetry import (
     MetricsRegistry,
     Telemetry,
 )
+from repro.telemetry.exporters import (
+    format_summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
 from repro.telemetry.registry import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_SERIES,
-)
-from repro.telemetry.exporters import (
-    format_summary,
-    write_chrome_trace,
-    write_metrics_jsonl,
 )
 
 

@@ -115,3 +115,31 @@ def test_random_topology_dense_request_keeps_requested_ranges():
 def test_random_topology_rejects_zero_nodes():
     with pytest.raises(TopologyError):
         random_topology(0)
+
+
+def test_random_topology_draws_through_named_rng_stream():
+    # Placement must come from the sim.rng registry's named stream —
+    # not a raw np.random.default_rng(seed) — so topology draws are
+    # isolated from protocol/MAC streams derived from the same seed.
+    from repro.sim.rng import RngRegistry
+    from repro.topology.builders import PLACEMENT_STREAM
+
+    topology = random_topology(6, seed=11, require_connected=False)
+    stream = RngRegistry(11).stream(PLACEMENT_STREAM)
+    xs = stream.uniform(0.0, 800.0, size=6)
+    ys = stream.uniform(0.0, 800.0, size=6)
+    for node_id, x, y in zip(topology.node_ids, xs.tolist(), ys.tolist()):
+        assert topology.node(node_id).x == x
+        assert topology.node(node_id).y == y
+
+
+def test_random_topology_is_reproducible_per_seed():
+    first = random_topology(10, seed=4)
+    second = random_topology(10, seed=4)
+    assert [
+        (first.node(i).x, first.node(i).y) for i in first.node_ids
+    ] == [(second.node(i).x, second.node(i).y) for i in second.node_ids]
+    different = random_topology(10, seed=5)
+    assert [
+        (first.node(i).x, first.node(i).y) for i in first.node_ids
+    ] != [(different.node(i).x, different.node(i).y) for i in different.node_ids]
