@@ -1,0 +1,157 @@
+"""Generate the machine-readable benchmark artifact (``BENCH_<n>.json``).
+
+Runs the pytest-benchmark suite in :mod:`benchmarks.test_performance`
+plus a sweep-engine demonstration (serial vs. sharded vs. cached), and
+writes one JSON file combining both.  Optionally folds in a *reference*
+pytest-benchmark JSON captured on an earlier revision, computing the
+per-benchmark speedups the PR claims.
+
+Usage::
+
+    python benchmarks/bench_json.py --out BENCH_4.json
+    python benchmarks/bench_json.py --out BENCH_4.json \
+        --pre /tmp/bench_pre.json --skip-sweep
+
+The committed ``benchmarks/bench-baseline.json`` is the ``benchmarks``
+section of this script's output on the current revision; CI re-runs
+the suite and feeds both to ``benchmarks/compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def run_pytest_benchmarks(min_rounds: int) -> dict[str, dict[str, float]]:
+    """Run the benchmark suite and return mean/min seconds per test."""
+    with tempfile.TemporaryDirectory() as scratch:
+        json_path = pathlib.Path(scratch) / "bench.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks" / "test_performance.py"),
+            "-q",
+            f"--benchmark-min-rounds={min_rounds}",
+            f"--benchmark-json={json_path}",
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            raise SystemExit(completed.returncode)
+        return parse_benchmark_json(json_path)
+
+
+def parse_benchmark_json(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """Reduce a pytest-benchmark JSON to {test name: {mean_s, min_s, rounds}}."""
+    with path.open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    results: dict[str, dict[str, float]] = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def run_sweep_demo(duration: float, seeds: int) -> dict[str, float | int]:
+    """Time the sweep engine: serial cold, 2-worker cold, cached rerun."""
+    sys.path.insert(0, str(SRC_DIR))
+    from repro.scenarios.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        scenarios=("figure3",),
+        protocols=("gmp",),
+        substrates=("fluid",),
+        seeds=tuple(range(1, seeds + 1)),
+        durations=(duration,),
+    )
+    demo: dict[str, float | int] = {
+        "grid_points": len(spec.points()),
+        "duration_s": duration,
+        # Parallel wall-clock wins require real cores: on a 1-CPU host
+        # the 2-worker number measures spawn overhead, not sharding.
+        "cpus": os.cpu_count() or 1,
+    }
+    cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="sweep-bench-"))
+    try:
+        started = time.perf_counter()
+        serial = run_sweep(spec, workers=1, cache_dir=None)
+        demo["serial_cold_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        parallel = run_sweep(spec, workers=2, cache_dir=cache_dir)
+        demo["two_worker_cold_s"] = time.perf_counter() - started
+        demo["two_worker_speedup"] = (
+            demo["serial_cold_s"] / demo["two_worker_cold_s"]
+        )
+        if parallel.results != serial.results:
+            raise SystemExit("sweep results differ between worker counts")
+
+        started = time.perf_counter()
+        cached = run_sweep(spec, workers=2, cache_dir=cache_dir)
+        demo["cached_rerun_s"] = time.perf_counter() - started
+        demo["cache_hit_rate"] = cached.cache_hits / len(spec.points())
+        demo["cached_rerun_speedup"] = (
+            demo["serial_cold_s"] / demo["cached_rerun_s"]
+        )
+        if cached.results != serial.results:
+            raise SystemExit("cached sweep results differ from fresh results")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return demo
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "--pre",
+        default=None,
+        help="pytest-benchmark JSON captured on the pre-change revision; "
+        "adds a pre_pr section and per-benchmark speedups",
+    )
+    parser.add_argument("--min-rounds", type=int, default=5)
+    parser.add_argument("--skip-sweep", action="store_true")
+    parser.add_argument("--sweep-duration", type=float, default=120.0)
+    parser.add_argument("--sweep-seeds", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    artifact: dict = {
+        "schema": "repro-bench/1",
+        "benchmarks": run_pytest_benchmarks(args.min_rounds),
+    }
+    if args.pre:
+        pre = parse_benchmark_json(pathlib.Path(args.pre))
+        artifact["pre_pr"] = pre
+        artifact["speedups"] = {
+            name: pre[name]["mean_s"] / stats["mean_s"]
+            for name, stats in artifact["benchmarks"].items()
+            if name in pre and stats["mean_s"] > 0
+        }
+    if not args.skip_sweep:
+        artifact["sweep"] = run_sweep_demo(args.sweep_duration, args.sweep_seeds)
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

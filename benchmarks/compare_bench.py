@@ -1,0 +1,84 @@
+"""Compare a fresh benchmark run against the committed baseline.
+
+CI runs the pytest-benchmark suite, reduces it with
+:func:`benchmarks.bench_json.parse_benchmark_json`, and fails the perf
+job when any benchmark's mean regresses beyond ``--threshold`` times
+its ``benchmarks/bench-baseline.json`` entry.  The default threshold
+is deliberately loose (2x) because shared CI runners are noisy; the
+job catches order-of-magnitude regressions (an accidentally disabled
+cache, a quadratic scan reintroduced), not percent-level drift.
+
+Usage::
+
+    python benchmarks/compare_bench.py fresh.json \
+        --baseline benchmarks/bench-baseline.json --threshold 2.0
+
+``fresh.json`` may be a raw pytest-benchmark JSON or a bench_json.py
+artifact (anything with a ``benchmarks`` mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    with path.open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "benchmarks" in payload and isinstance(payload["benchmarks"], dict):
+        return payload["benchmarks"]
+    # Raw pytest-benchmark layout: a list of result objects.
+    results: dict[str, dict[str, float]] = {}
+    for bench in payload.get("benchmarks", []):
+        results[bench["name"]] = {"mean_s": bench["stats"]["mean"]}
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="benchmark JSON from this run")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).with_name("bench-baseline.json")),
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    fresh = load_benchmarks(pathlib.Path(args.fresh))
+    baseline = load_benchmarks(pathlib.Path(args.baseline))
+
+    failures: list[str] = []
+    for name, stats in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        allowed = stats["mean_s"] * args.threshold
+        measured = fresh[name]["mean_s"]
+        verdict = "ok" if measured <= allowed else "REGRESSED"
+        print(
+            f"{name}: {measured * 1e3:.2f} ms "
+            f"(baseline {stats['mean_s'] * 1e3:.2f} ms, "
+            f"allowed {allowed * 1e3:.2f} ms) {verdict}"
+        )
+        if measured > allowed:
+            failures.append(
+                f"{name}: {measured * 1e3:.2f} ms exceeds "
+                f"{args.threshold:g}x baseline ({allowed * 1e3:.2f} ms)"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name}: {fresh[name]['mean_s'] * 1e3:.2f} ms (no baseline)")
+
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nperf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,20 @@ survive pytest's output capturing (run with ``-s`` to see them live).
 """
 
 import pathlib
+import sys
 
 import pytest
 
 from repro.analysis.report import format_table
 from repro.core.config import GmpConfig
 from repro.scenarios.runner import run_scenario
+
+# Make the shared test fixtures (tests/helpers.py) importable from any
+# CWD — conftest loads before the benchmark modules, so their plain
+# ``from helpers import ...`` resolves without per-module path hacks.
+_TESTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "tests"
+if str(_TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TESTS_DIR))
 
 _TABLES_FILE = pathlib.Path(__file__).parent / "tables_output.txt"
 

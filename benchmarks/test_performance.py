@@ -1,25 +1,24 @@
 """Simulator performance benchmarks (not paper artifacts).
 
 Measured so regressions in the hot paths show up: event-kernel
-dispatch, packet-level DCF throughput, fluid-round throughput, and
-clique enumeration on a dense random network.
+dispatch, packet-level DCF throughput, fluid-round throughput (setup
+excluded, so the number tracks the round machinery itself), the
+water-filling solver, and clique enumeration on a dense random
+network.  ``benchmarks/bench_json.py`` runs these and writes the
+machine-readable ``BENCH_<n>.json`` tracked across PRs (see
+docs/PERFORMANCE.md).
 """
 
-import pathlib
-import sys
-
+from repro.flows.packet import Packet
 from repro.mac.dcf import DcfMac
-from repro.mac.fluid import FluidMac
+from repro.mac.fluid import FluidMac, waterfill_links
 from repro.sim.kernel import Simulator
 from repro.topology.builders import random_topology
 from repro.topology.cliques import maximal_cliques
 from repro.topology.contention import ContentionGraph
 from repro.topology.network import Topology
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
-from repro.flows.packet import Packet  # noqa: E402
-
-from helpers import QueueNode, SaturatedSender  # noqa: E402
+from helpers import QueueNode, SaturatedSender
 
 
 def test_event_kernel_dispatch_rate(benchmark):
@@ -60,8 +59,55 @@ def test_dcf_simulated_second(benchmark):
     assert delivered > 400
 
 
+def _build_fluid_network(backlog_per_link: int):
+    """A dense 20-node fluid network with every link backlogged."""
+    topology = random_topology(20, width=900.0, height=900.0, seed=9)
+    sim = Simulator(seed=1)
+    mac = FluidMac(sim, topology, capacity_pps=500.0)
+    nodes = {}
+    for node_id in topology.node_ids:
+        nodes[node_id] = QueueNode(node_id)
+        mac.attach_node(node_id, nodes[node_id].services())
+    mac.start()
+    flow_id = 0
+    for node_id in topology.node_ids:
+        for neighbor in sorted(topology.neighbors(node_id)):
+            flow_id += 1
+            for _ in range(backlog_per_link):
+                nodes[node_id].push(
+                    Packet(
+                        flow_id=flow_id,
+                        source=node_id,
+                        destination=neighbor,
+                        size_bytes=1024,
+                        created_at=0.0,
+                    ),
+                    neighbor,
+                )
+    return sim, nodes
+
+
+def test_fluid_round_throughput(benchmark):
+    """Fifty allocation/transfer rounds (one simulated second) on a
+    dense saturated network — network construction and packet
+    generation excluded from the timed region."""
+    delivered = []
+
+    def setup():
+        sim, nodes = _build_fluid_network(backlog_per_link=60)
+        return (sim, nodes), {}
+
+    def run(sim, nodes):
+        sim.run(until=1.0)
+        delivered.append(sum(len(node.received) for node in nodes.values()))
+
+    benchmark.pedantic(run, setup=setup, rounds=10, warmup_rounds=2)
+    assert delivered[-1] > 100
+
+
 def test_fluid_simulated_second(benchmark):
-    """One simulated second of a 12-node fluid network."""
+    """One simulated second of a 12-node fluid network, setup included
+    (the historical end-to-end shape, kept for trend continuity)."""
 
     def run():
         topology = random_topology(12, width=900.0, height=900.0, seed=4)
@@ -87,6 +133,23 @@ def test_fluid_simulated_second(benchmark):
 
     delivered = benchmark(run)
     assert delivered > 100
+
+
+def test_waterfill_solver(benchmark):
+    """One uncached water-filling solve over the dense network's cliques
+    with every directed link demanding (the per-round inner solver)."""
+    topology = random_topology(20, width=900.0, height=900.0, seed=9)
+    cliques = maximal_cliques(ContentionGraph(topology))
+    demands = {}
+    for node_id in topology.node_ids:
+        for neighbor in sorted(topology.neighbors(node_id)):
+            demands[(node_id, neighbor)] = 750.0 + node_id
+
+    def run():
+        return waterfill_links(demands, cliques, 500.0)
+
+    alloc = benchmark(run)
+    assert alloc and all(rate >= 0.0 for rate in alloc.values())
 
 
 def test_clique_enumeration_dense(benchmark):

@@ -12,6 +12,8 @@ Examples::
         --faults "crash:1@20;recover:1@40" --rate-interval 1
     python -m repro figure3 --substrate fluid --profile \
         --metrics-out m.jsonl --trace-out t.json
+    python -m repro sweep --scenarios figure3,figure4 --seeds 1,2,3 \
+        --workers 4 --json sweep.json
 
 Fault specs (``--faults``) are semicolon-separated events; see
 :mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
@@ -58,6 +60,14 @@ def _build_scenario(args: argparse.Namespace):
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        # Parameter-grid mode has its own option surface; hand the rest
+        # of the command line to the sweep engine's parser.
+        from repro.scenarios.sweep import sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario", choices=("figure1", "figure2", "figure3", "figure4")

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.errors import AnalysisError
 from repro.flows.flow import FlowSet
 from repro.routing.table import RouteSet
-from repro.topology.cliques import Clique
+from repro.topology.cliques import Clique, link_clique_index
 from repro.topology.network import Link
 
 _EPSILON = 1e-9
@@ -79,7 +79,9 @@ def weighted_maxmin_rates(
         raise AnalysisError("clique capacities must be positive")
 
     # Traversal counts: how many units of clique C one packet of flow f
-    # consumes (= number of f's path links inside C).
+    # consumes (= number of f's path links inside C).  Counted through
+    # the link→clique index instead of scanning every clique per flow.
+    link_index = link_clique_index(cliques)
     traversals: dict[int, dict[tuple[int, int], int]] = {}
     for flow in flows:
         path = [
@@ -87,21 +89,31 @@ def weighted_maxmin_rates(
             for a_link in routes.path_links(flow.source, flow.destination)
         ]
         counts: dict[tuple[int, int], int] = {}
-        for clique in cliques:
-            inside = sum(1 for a_link in path if a_link in clique.links)
-            if inside:
-                counts[clique.clique_id] = inside
+        for a_link in path:
+            for clique_id in link_index.get(a_link, ()):
+                counts[clique_id] = counts.get(clique_id, 0) + 1
         traversals[flow.flow_id] = counts
 
     level = {flow.flow_id: 0.0 for flow in flows}  # normalized rates
     frozen: dict[int, tuple[int, int] | None] = {}
     remaining = dict(capacities)
 
+    # Per-clique member flows in flow order: weight_in sums the same
+    # terms in the same order as a full scan (a flow outside the clique
+    # contributed an exact +0.0), without touching non-member flows.
+    weights = {flow.flow_id: flow.weight for flow in flows}
+    clique_flows: dict[tuple[int, int], list[int]] = {
+        clique_id: [] for clique_id in capacities
+    }
+    for flow in flows:
+        for clique_id in traversals[flow.flow_id]:
+            clique_flows[clique_id].append(flow.flow_id)
+
     def weight_in(clique_id: tuple[int, int]) -> float:
         """Combined capacity drain per unit of normalized-rate growth."""
         return sum(
-            flows.get(flow_id).weight * count.get(clique_id, 0)
-            for flow_id, count in traversals.items()
+            weights[flow_id] * traversals[flow_id][clique_id]
+            for flow_id in clique_flows[clique_id]
             if flow_id not in frozen
         )
 

@@ -30,7 +30,7 @@ from repro.baselines.lp import maximize_total_extra
 from repro.errors import AnalysisError
 from repro.flows.flow import FlowSet
 from repro.routing.table import RouteSet
-from repro.topology.cliques import Clique
+from repro.topology.cliques import Clique, link_clique_index
 from repro.topology.network import Link
 
 
@@ -78,6 +78,7 @@ def two_phase_rates(
         raise AnalysisError("clique capacities must be positive")
 
     flow_ids = [flow.flow_id for flow in flows]
+    link_index = link_clique_index(cliques)
     traversals: dict[int, dict[tuple[int, int], int]] = {}
     for flow in flows:
         path = [
@@ -85,10 +86,9 @@ def two_phase_rates(
             for a_link in routes.path_links(flow.source, flow.destination)
         ]
         counts: dict[tuple[int, int], int] = {}
-        for clique in cliques:
-            inside = sum(1 for a_link in path if a_link in clique.links)
-            if inside:
-                counts[clique.clique_id] = inside
+        for a_link in path:
+            for clique_id in link_index.get(a_link, ()):
+                counts[clique_id] = counts.get(clique_id, 0) + 1
         traversals[flow.flow_id] = counts
 
     # Phase 1 (Li's basic fair share): every clique divides its

@@ -51,6 +51,10 @@ class NodeServices:
     # packet at a time through ``dequeue``).
     eligible_links: "Callable[[], dict[Link, int]] | None" = None
     dequeue_for: "Callable[[int], Packet | None] | None" = None
+    # True while any packet is queued at the node, eligible or not.
+    # Optional; when every node supplies it, the fluid substrate can
+    # prove the network quiescent and skip whole allocation rounds.
+    has_pending: "Callable[[], bool] | None" = None
 
 
 class MacLayer(abc.ABC):

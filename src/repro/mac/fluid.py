@@ -29,6 +29,93 @@ from repro.topology.network import Link, Topology
 
 _EPSILON = 1e-9
 
+#: Cached demand→allocation entries kept per FluidMac before the cache
+#: is dropped wholesale (guards against adversarial demand churn).
+_ALLOC_CACHE_LIMIT = 4096
+
+
+def _waterfill_core(
+    limits: list[float],
+    memberships: list[tuple[int, ...]],
+    capacity: float,
+) -> list[float]:
+    """Index-array water-filling over active links 0..m-1.
+
+    ``limits[i]`` is the rate ceiling of link *i* (demand already folded
+    with any per-link cap) and ``memberships[i]`` names the cliques
+    containing it (ids are opaque; only grouping matters).  Returns the
+    allocation per link.
+
+    The freeze loop performs, per link and per clique, the exact same
+    float operations in the exact same order as the historical dict/set
+    implementation (min of identical value sets, identical ``+=`` /
+    ``-=`` step sequences), so allocations are bit-identical — the
+    arrays only remove the per-iteration membership rescans.
+    """
+    m = len(limits)
+    alloc = [0.0] * m
+    # Compact the cliques that actually have active members; member
+    # lists are in link-index order, matching the old active-list scan.
+    clique_members: dict[int, list[int]] = {}
+    for i, clique_ids in enumerate(memberships):
+        for clique_id in clique_ids:
+            clique_members.setdefault(clique_id, []).append(i)
+    member_lists = list(clique_members.values())
+    n_cliques = len(member_lists)
+    remaining = [capacity] * n_cliques
+    counts = [len(members) for members in member_lists]
+    link_cliques: list[list[int]] = [[] for _ in range(m)]
+    for c, members in enumerate(member_lists):
+        for i in members:
+            link_cliques[i].append(c)
+
+    frozen = [False] * m
+    # Ascending index list of still-unfrozen links; scanning it instead
+    # of range(m) keeps every min/update/check over the identical value
+    # set (and in the same index order), just without revisiting frozen
+    # slots.
+    unfrozen = list(range(m))
+    while unfrozen:
+        # Distance to the next event: a link reaching its limit or a
+        # clique exhausting its remaining capacity.
+        step = min(limits[i] - alloc[i] for i in unfrozen)
+        for c in range(n_cliques):
+            count = counts[c]
+            if count:
+                share = remaining[c] / count
+                if share < step:
+                    step = share
+        if step < 0:
+            step = 0.0
+
+        for i in unfrozen:
+            alloc[i] += step
+        newly: list[int] = []
+        for c in range(n_cliques):
+            count = counts[c]
+            if count == 0:
+                continue
+            remaining[c] -= step * count
+            if remaining[c] <= _EPSILON:
+                members = member_lists[c]
+                for i in members:
+                    if not frozen[i]:
+                        newly.append(i)
+        for i in unfrozen:
+            if alloc[i] >= limits[i] - _EPSILON:
+                newly.append(i)
+        if not newly:
+            # Nothing froze: every unfrozen link is unconstrained, which
+            # can only happen if step was 0 for numerical reasons.
+            break
+        for i in newly:
+            if not frozen[i]:
+                frozen[i] = True
+                for c in link_cliques[i]:
+                    counts[c] -= 1
+        unfrozen = [i for i in unfrozen if not frozen[i]]
+    return alloc
+
 
 def waterfill_links(
     demands: dict[Link, float],
@@ -52,55 +139,17 @@ def waterfill_links(
     """
     rate_caps = rate_caps or {}
     active = [a_link for a_link, demand in demands.items() if demand > _EPSILON]
-    alloc = {a_link: 0.0 for a_link in active}
     if not active:
-        return alloc
-
-    limit = {
-        a_link: min(demands[a_link], rate_caps.get(a_link, math.inf))
+        return {}
+    limits = [
+        min(demands[a_link], rate_caps.get(a_link, math.inf)) for a_link in active
+    ]
+    memberships = [
+        tuple(index for index, clique in enumerate(cliques) if a_link in clique)
         for a_link in active
-    }
-    members: dict[int, list[Link]] = {}
-    remaining: dict[int, float] = {}
-    for index, clique in enumerate(cliques):
-        inside = [a_link for a_link in active if a_link in clique]
-        if inside:
-            members[index] = inside
-            remaining[index] = capacity
-
-    unfrozen = set(active)
-    while unfrozen:
-        # Distance to the next event: a link reaching its limit or a
-        # clique exhausting its remaining capacity.
-        step = min(limit[a_link] - alloc[a_link] for a_link in unfrozen)
-        for index, inside in members.items():
-            count = sum(1 for a_link in inside if a_link in unfrozen)
-            if count:
-                step = min(step, remaining[index] / count)
-        if step < 0:
-            step = 0.0
-
-        for a_link in unfrozen:
-            alloc[a_link] += step
-        saturated_links: set[Link] = set()
-        for index, inside in members.items():
-            count = sum(1 for a_link in inside if a_link in unfrozen)
-            if count == 0:
-                continue
-            remaining[index] -= step * count
-            if remaining[index] <= _EPSILON:
-                saturated_links.update(
-                    a_link for a_link in inside if a_link in unfrozen
-                )
-        for a_link in list(unfrozen):
-            if alloc[a_link] >= limit[a_link] - _EPSILON:
-                saturated_links.add(a_link)
-        if not saturated_links:
-            # Nothing froze: every unfrozen link is unconstrained, which
-            # can only happen if step was 0 for numerical reasons.
-            break
-        unfrozen -= saturated_links
-    return alloc
+    ]
+    rates = _waterfill_core(limits, memberships, capacity)
+    return dict(zip(active, rates))
 
 
 class FluidMac(MacLayer):
@@ -117,6 +166,11 @@ class FluidMac(MacLayer):
         phy: PHY profile used for the capacity default.
         packet_bytes: payload size for the capacity default.
         rate_caps: optional per-directed-link rate ceilings.
+        cliques: precomputed maximal contention cliques for
+            ``topology`` (skips the enumeration when the caller — e.g.
+            the scenario runner — already has them).
+        alloc_cache: memoize demand→allocation solutions (bit-identical
+            results; disable only to exercise the uncached path).
     """
 
     def __init__(
@@ -129,6 +183,8 @@ class FluidMac(MacLayer):
         phy: PhyProfile = DEFAULT_PHY,
         packet_bytes: int = 1024,
         rate_caps: dict[Link, float] | None = None,
+        cliques: list[Clique] | None = None,
+        alloc_cache: bool = True,
     ) -> None:
         if round_interval <= 0:
             raise ConfigError(f"round interval must be positive: {round_interval}")
@@ -141,9 +197,13 @@ class FluidMac(MacLayer):
             raise ConfigError(f"capacity must be positive: {capacity_pps}")
         self.capacity_pps = capacity_pps
         self.rate_caps = dict(rate_caps or {})
-        self._graph = ContentionGraph(topology)
-        self._cliques = maximal_cliques(self._graph)
+        if cliques is None:
+            self._graph = ContentionGraph(topology)
+            self._cliques = maximal_cliques(self._graph)
+        else:
+            self._cliques = list(cliques)
         self._services: dict[int, NodeServices] = {}
+        self._sorted_nodes: list[int] = []
         self._credit: dict[Link, float] = {}
         self._occupancy: dict[int, dict[Link, float]] = {}
         self._busy: dict[int, float] = {}
@@ -161,6 +221,28 @@ class FluidMac(MacLayer):
         self._tm = sim.telemetry if sim.telemetry.enabled else None
         self._rate_series: dict[Link, object] = {}
         self._active_links: set[Link] = set()
+        # Incremental allocation machinery: per-link clique membership
+        # (computed lazily per directed link), a demand→allocation memo,
+        # and a dirty/idle pair that lets fully quiescent rounds return
+        # immediately (see docs/PERFORMANCE.md for the exactness
+        # argument).
+        self._memberships: dict[Link, tuple[int, ...]] = {}
+        self._alloc_cache_enabled = alloc_cache
+        self._alloc_cache: dict[object, dict[Link, float]] = {}
+        self.alloc_cache_hits = 0
+        self.alloc_cache_misses = 0
+        self.rounds_skipped = 0
+        self._dirty = True
+        self._idle = False
+        if self._tm is not None:
+            registry = self._tm.registry
+            self._hit_counter = registry.counter("mac.alloc_cache_hits")
+            self._miss_counter = registry.counter("mac.alloc_cache_misses")
+            self._skip_counter = registry.counter("mac.rounds_skipped")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._skip_counter = None
 
     # --- MacLayer interface -----------------------------------------------------
 
@@ -174,18 +256,28 @@ class FluidMac(MacLayer):
             )
         self.topology.node(node_id)
         self._services[node_id] = services
+        self._sorted_nodes = sorted(self._services)
         self._occupancy[node_id] = {}
         self._busy[node_id] = 0.0
+        self._dirty = True
 
     def start(self) -> None:
         if self._started:
             raise MacError("FluidMac already started")
         self._started = True
+        # Pre-warm the per-link clique memberships for every directed
+        # topology link so the per-round clamp test is a plain dict hit
+        # (links a buffer reports outside the topology still fall back
+        # to the lazy path in the solver).
+        for node_id in self.topology.node_ids:
+            for neighbor in self.topology.neighbors(node_id):
+                self._memberships_for((node_id, neighbor))
         self.sim.every(self.round_interval, self._round, tag="fluid.round")
 
     def notify_backlog(self, node_id: int) -> None:
-        # Rounds poll eligibility; nothing to do eagerly.
-        pass
+        # Rounds poll eligibility; just note that buffer state may have
+        # changed so an idle-skipping round machinery wakes up.
+        self._dirty = True
 
     def occupancy_snapshot(self, node_id: int) -> dict[Link, float]:
         try:
@@ -226,6 +318,7 @@ class FluidMac(MacLayer):
             self._down.add(node_id)
         else:
             self._down.discard(node_id)
+        self._dirty = True
         return []
 
     def set_link_loss(self, sender: int, receiver: int, rate: float) -> None:
@@ -237,11 +330,13 @@ class FluidMac(MacLayer):
             self._link_loss.pop((sender, receiver), None)
         else:
             self._link_loss[(sender, receiver)] = rate
+        self._dirty = True
 
     def set_link_capacity(self, sender: int, receiver: int, capacity: float | None) -> None:
         """Fault-injected rate ceiling on a directed link (packets per
         second); ``None`` restores the link's configured cap."""
         a_link = (sender, receiver)
+        self._dirty = True
         if capacity is None:
             self._fault_caps.pop(a_link, None)
             return
@@ -263,48 +358,178 @@ class FluidMac(MacLayer):
 
     # --- round machinery ------------------------------------------------------------
 
-    def _round(self) -> None:
-        interval = self.round_interval
-        demands: dict[Link, float] = {}
-        for node_id in sorted(self._services):
-            if node_id in self._down:
-                continue
-            eligible = self._services[node_id].eligible_links()
-            for a_link, count in eligible.items():
-                if count > 0 and a_link[1] not in self._down:
-                    demands[a_link] = count / interval
+    def _memberships_for(self, a_link: Link) -> tuple[int, ...]:
+        """Indices of the cliques containing ``a_link`` (lazily cached;
+        the topology — hence the clique set — is fixed for a run)."""
+        clique_ids = self._memberships.get(a_link)
+        if clique_ids is None:
+            clique_ids = tuple(
+                index
+                for index, clique in enumerate(self._cliques)
+                if a_link in clique
+            )
+            self._memberships[a_link] = clique_ids
+        return clique_ids
 
-        alloc = waterfill_links(
-            demands, self._cliques, self.capacity_pps, rate_caps=self._effective_caps()
-        )
+    def _allocate(self, demands: dict[Link, float]) -> dict[Link, float]:
+        """Water-fill ``demands``, memoizing on the quantized demand
+        vector and the effective caps.
+
+        Demands of clique-member links are clamped at ``capacity_pps``
+        before keying/solving: any demand at or above the clique
+        capacity yields the identical allocation (the link's limit term
+        can never undercut its clique's share term), so deep queues that
+        only differ in backlog depth collapse onto one cache entry.
+        Links outside every clique are never clamped — their limit is
+        the only thing bounding them.
+        """
+        caps = self._effective_caps()
+        capacity = self.capacity_pps
+        # Memberships are pre-warmed for all topology links at start();
+        # a link absent from the map is simply left unclamped, which
+        # yields the same allocation (clamping is a pure cache-key
+        # normalization) at worst costing one extra cache entry.
+        memberships_map = self._memberships
+        quantized = [
+            (
+                a_link,
+                capacity
+                if demand > capacity and memberships_map.get(a_link)
+                else demand,
+            )
+            for a_link, demand in demands.items()
+        ]
+        return self._allocate_quantized(quantized)
+
+    def _allocate_quantized(
+        self, quantized: list[tuple[Link, float]]
+    ) -> dict[Link, float]:
+        """Solve (or recall) the allocation for an already-clamped
+        ``(link, demand)`` vector — the round loop builds the vector
+        inline while polling eligibility, so it lands here directly."""
+        caps = self._effective_caps()
+        capacity = self.capacity_pps
+        if not self._alloc_cache_enabled:
+            return waterfill_links(
+                dict(quantized), self._cliques, capacity, rate_caps=caps
+            )
+        caps_key = tuple(sorted(caps.items())) if caps else ()
+        key = (tuple(quantized), caps_key)
+        cached = self._alloc_cache.get(key)
+        if cached is not None:
+            self.alloc_cache_hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
+            return cached
+        active: list[Link] = []
+        limits: list[float] = []
+        memberships: list[tuple[int, ...]] = []
+        for a_link, demand in quantized:
+            if demand > _EPSILON:
+                active.append(a_link)
+                limits.append(min(demand, caps.get(a_link, math.inf)))
+                memberships.append(self._memberships_for(a_link))
+        alloc = dict(zip(active, _waterfill_core(limits, memberships, capacity)))
+        self.alloc_cache_misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+        if len(self._alloc_cache) >= _ALLOC_CACHE_LIMIT:
+            self._alloc_cache.clear()
+        self._alloc_cache[key] = alloc
+        return alloc
+
+    def _round(self) -> None:
+        if self._idle and not self._dirty:
+            # Nothing changed since a round that saw an empty network:
+            # the allocation would be empty again; skip the node polls.
+            self.rounds_skipped += 1
+            if self._skip_counter is not None:
+                self._skip_counter.inc()
+            return
+        self._dirty = False
+        interval = self.round_interval
+        down = self._down
+        capacity = self.capacity_pps
+        memberships_map = self._memberships
+        # One fused pass: poll each node's eligibility and emit the
+        # clamped (link, demand) vector the allocator keys on.  Nodes
+        # report disjoint link sets (their own outgoing links), so the
+        # list is duplicate-free in deterministic node order.
+        quantized: list[tuple[Link, float]] = []
+        append = quantized.append
+        if down:
+            for node_id in self._sorted_nodes:
+                if node_id in down:
+                    continue
+                eligible = self._services[node_id].eligible_links()
+                for a_link, count in eligible.items():
+                    if count > 0 and a_link[1] not in down:
+                        demand = count / interval
+                        if demand > capacity and memberships_map.get(a_link):
+                            demand = capacity
+                        append((a_link, demand))
+        else:
+            for node_id in self._sorted_nodes:
+                eligible = self._services[node_id].eligible_links()
+                for a_link, count in eligible.items():
+                    if count > 0:
+                        demand = count / interval
+                        if demand > capacity and memberships_map.get(a_link):
+                            demand = capacity
+                        append((a_link, demand))
+
+        if quantized:
+            self._idle = False
+        else:
+            # Safe to skip future rounds only when *no* buffer holds any
+            # packet (eligible or not) — gates and backpressure cannot
+            # conjure demand out of an empty network, and every way a
+            # packet enters a buffer calls notify_backlog.
+            self._idle = all(
+                services.has_pending is not None and not services.has_pending()
+                for services in self._services.values()
+            )
+
+        alloc = self._allocate_quantized(quantized)
 
         # Per-link packet budgets for this round (fractional credit
         # carries over between rounds).
         budgets: dict[Link, int] = {}
+        credits = self._credit
         for a_link, rate in alloc.items():
-            credit = self._credit.get(a_link, 0.0) + rate * interval
-            budgets[a_link] = int(credit + _EPSILON)
-            self._credit[a_link] = credit - budgets[a_link]
+            credit = credits.get(a_link, 0.0) + rate * interval
+            whole = int(credit + _EPSILON)
+            budgets[a_link] = whole
+            credits[a_link] = credit - whole
 
         # Transfer in repeated passes until no link makes progress: a
         # downstream queue drained late in a pass can unblock an
         # upstream link's backpressure gate within the same round,
         # which mirrors the per-packet interleaving of the real MAC.
-        sent_per_link: dict[Link, int] = {a_link: 0 for a_link in budgets}
+        # Links with a zero budget can never send this round, so only
+        # the positive-budget links enter the passes (and the sent map);
+        # a link drops out once its budget is exhausted.  Pass order
+        # over the survivors is the same sorted order as before.
+        services = self._services
+        link_loss = self._link_loss
+        pending = sorted(a_link for a_link, b in budgets.items() if b > 0)
+        sent_per_link: dict[Link, int] = {a_link: 0 for a_link in pending}
         progress = True
-        while progress:
+        while progress and pending:
             progress = False
-            for a_link in sorted(budgets):
-                if sent_per_link[a_link] >= budgets[a_link]:
-                    continue
+            survivors: list[Link] = []
+            for a_link in pending:
                 sender, receiver = a_link
-                source = self._services[sender]
-                sink = self._services.get(receiver)
+                source = services[sender]
+                sink = services.get(receiver)
                 assert source.dequeue_for is not None
                 packet = source.dequeue_for(receiver)
                 if packet is None:
+                    # Blocked (gated or empty) — may unblock in a later
+                    # pass when a downstream queue drains.
+                    survivors.append(a_link)
                     continue
-                loss = self._link_loss.get(a_link)
+                loss = link_loss.get(a_link)
                 if loss is not None and float(self._loss_rng.random()) < loss:
                     # The exchange consumed airtime but the packet is
                     # destroyed; report it as a MAC drop so packet
@@ -313,8 +538,12 @@ class FluidMac(MacLayer):
                     source.on_packet_dropped(packet, receiver)
                 elif sink is not None:
                     sink.on_data_received(packet, sender)
-                sent_per_link[a_link] += 1
+                sent = sent_per_link[a_link] + 1
+                sent_per_link[a_link] = sent
                 progress = True
+                if sent < budgets[a_link]:
+                    survivors.append(a_link)
+            pending = survivors
 
         for a_link, sent in sent_per_link.items():
             if not sent:

@@ -201,6 +201,16 @@ def run_scenario(
         packet_bytes = max(flow.packet_bytes for flow in flows)
         capacity_pps = phy.saturation_rate(packet_bytes, contenders=3)
 
+    # The maximal-clique enumeration is shared by every consumer of the
+    # clique-capacity model (fluid MAC, 2PP, maxmin reference) and is
+    # computed lazily at most once per run.
+    cliques_cache: list = []
+
+    def topology_cliques():
+        if not cliques_cache:
+            cliques_cache.append(maximal_cliques(ContentionGraph(topology)))
+        return cliques_cache[0]
+
     if substrate == "dcf":
         mac = DcfMac(sim, topology, phy=phy, config=dcf_config or DcfConfig())
     else:
@@ -210,6 +220,7 @@ def run_scenario(
             round_interval=fluid_round,
             capacity_pps=capacity_pps,
             rate_caps=scenario.rate_caps,
+            cliques=topology_cliques(),
         )
 
     stacks: dict[int, NodeStack] = {}
@@ -275,9 +286,7 @@ def run_scenario(
 
     extras: dict[str, object] = {}
     if protocol == "2pp":
-        graph = ContentionGraph(topology)
-        cliques = maximal_cliques(graph)
-        allocation = two_phase_rates(flows, routes, cliques, capacity_pps)
+        allocation = two_phase_rates(flows, routes, topology_cliques(), capacity_pps)
         for flow_id, rate in allocation.rates.items():
             sources[flow_id].set_rate_limit(max(rate, 1.0))
         extras["two_phase"] = allocation
@@ -370,7 +379,7 @@ def run_scenario(
             reference = weighted_maxmin_rates(
                 flows,
                 routes,
-                maximal_cliques(ContentionGraph(topology)),
+                topology_cliques(),
                 capacity_pps,
             )
             extras["maxmin_reference"] = dict(reference.rates)

@@ -39,6 +39,12 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 #: Events between throughput samples when telemetry is collecting.
 _THROUGHPUT_WINDOW = 4096
 
+#: Upper bound on events popped from the heap per dispatch batch.
+#: Batching amortises heap maintenance; correctness does not depend on
+#: the value because the loop re-checks order before every dispatch and
+#: parks the unprocessed tail back in the queue when overtaken.
+_BATCH_LIMIT = 128
+
 
 class Timer:
     """A restartable one-shot timer bound to a :class:`Simulator`.
@@ -166,7 +172,12 @@ class Simulator:
         """Schedule ``callback`` after a non-negative ``delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback, priority=priority, tag=tag)
+        # Pushes directly: delay >= 0 already guarantees the call_at
+        # not-in-the-past invariant, and this is the hottest scheduling
+        # entry point.
+        return self._queue.push(
+            self._now + delay, callback, priority=priority, tag=tag
+        )
 
     def timer(
         self,
@@ -196,25 +207,28 @@ class Simulator:
         """
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive: {interval}")
-        pending: Event | None = None
         stopped = False
+        slot: Event | None = None
 
         def fire() -> None:
-            nonlocal pending
             if stopped:
                 return
             callback()
-            if not stopped:
-                pending = self.call_later(interval, fire, tag=tag)
+            # Re-arm the same Event object (slot pattern): repush draws a
+            # fresh sequence number at exactly the point the old
+            # per-firing call_later did, so dispatch order — and the
+            # replay digest — are unchanged.
+            if not stopped and slot is not None:
+                self._queue.repush(slot, self._now + interval)
 
         first = self._now + interval if start_at is None else start_at
-        pending = self.call_at(first, fire, tag=tag)
+        slot = self.call_at(first, fire, tag=tag)
 
         def stop() -> None:
             nonlocal stopped
             stopped = True
-            if pending is not None:
-                pending.cancel()
+            if slot is not None:
+                slot.cancel()
 
         return stop
 
@@ -284,71 +298,150 @@ class Simulator:
             if collect
             else None
         )
+        queue = self._queue
+        batches = 0
+        batched_events = 0
+        # Fast path: with every watchdog and observer off, the per-event
+        # work reduces to clock advance + dispatch.
+        fast = (
+            max_events is None
+            and stall_limit is None
+            and wall_deadline is None
+            and sanitizer is None
+            and not collect
+        )
         try:
-            while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time > until:
+            if fast:
+                processed = 0
+                try:
+                    while not self._stopped:
+                        batch = queue.pop_batch(_BATCH_LIMIT, until)
+                        if not batch:
+                            break
+                        n = len(batch)
+                        if n == 1:
+                            # Overwhelmingly common shape (a model that
+                            # schedules one event at a time): dispatch
+                            # without the batch bookkeeping.
+                            event = batch[0]
+                            if not event.cancelled:
+                                processed += 1
+                                self._now = event.time
+                                event.callback()
+                            continue
+                        index = 0
+                        try:
+                            while index < n:
+                                event = batch[index]
+                                if event.cancelled:
+                                    index += 1
+                                    continue
+                                if index and queue.first_precedes(event):
+                                    break
+                                index += 1
+                                processed += 1
+                                self._now = event.time
+                                event.callback()
+                                if self._stopped:
+                                    break
+                        finally:
+                            if index < n:
+                                queue.reinject(batch[index:])
+                finally:
+                    self._events_processed += processed
+                if until is not None and not self._stopped and self._now < until:
+                    self._now = until
+                return self._now
+            while not self._stopped:
+                batch = queue.pop_batch(_BATCH_LIMIT, until)
+                if not batch:
                     break
-                event = self._queue.pop()
-                if event.time > self._now:
-                    events_at_now = 0
-                    stalled_tags.clear()
-                self._now = event.time
-                self._events_processed += 1
-                events_at_now += 1
-                if stall_limit is not None:
-                    stalled_tags[event.tag or "<untagged>"] += 1
-                    if events_at_now > stall_limit:
-                        offenders = ", ".join(
-                            f"{tag} x{count}"
-                            for tag, count in stalled_tags.most_common(5)
-                        )
-                        raise SimulationError(
-                            f"simulated clock stalled at t={self._now:.9f}: "
-                            f"{events_at_now} events without advancing; "
-                            f"offending tags: {offenders}"
-                        )
-                if max_events is not None and self._events_processed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway model?"
-                    )
-                if (
-                    wall_deadline is not None
-                    and self._events_processed % 512 == 0
-                    and _time.monotonic() - wall_start > wall_deadline
-                ):
-                    raise SimulationError(
-                        f"wall-clock deadline of {wall_deadline:g}s exceeded at "
-                        f"t={self._now:.6f} after {self._events_processed} events"
-                    )
-                if sanitizer is not None:
-                    sanitizer.observe(
-                        event.time, event.priority, event.tag, event.callback
-                    )
-                if not collect:
-                    event.callback()
-                else:
-                    tag = event.tag or "<untagged>"
-                    tag_counts[tag] = tag_counts.get(tag, 0) + 1
-                    run_events += 1
-                    if profile:
-                        handler_start = _time.perf_counter()
-                        event.callback()
-                        tag_wall[tag] = (
-                            tag_wall.get(tag, 0.0)
-                            + _time.perf_counter()
-                            - handler_start
-                        )
-                    else:
-                        event.callback()
-                    if run_events % _THROUGHPUT_WINDOW == 0:
-                        wall_now = _time.monotonic()
-                        window = wall_now - window_start
-                        if window > 0 and throughput is not None:
-                            throughput.record(
-                                self._now, _THROUGHPUT_WINDOW / window
+                batches += 1
+                batched_events += len(batch)
+                index = 0
+                try:
+                    while index < len(batch):
+                        event = batch[index]
+                        if event.cancelled:
+                            # Cancelled by an earlier callback in this
+                            # batch; skip without counting, exactly as
+                            # the heap's lazy discard would have.
+                            index += 1
+                            continue
+                        if index and queue.first_precedes(event):
+                            # A callback scheduled something that orders
+                            # before the rest of this batch: park the
+                            # tail (via the finally) and re-pop.
+                            break
+                        index += 1
+                        if event.time > self._now:
+                            events_at_now = 0
+                            stalled_tags.clear()
+                        self._now = event.time
+                        self._events_processed += 1
+                        events_at_now += 1
+                        if stall_limit is not None:
+                            stalled_tags[event.tag or "<untagged>"] += 1
+                            if events_at_now > stall_limit:
+                                offenders = ", ".join(
+                                    f"{tag} x{count}"
+                                    for tag, count in stalled_tags.most_common(5)
+                                )
+                                raise SimulationError(
+                                    f"simulated clock stalled at t={self._now:.9f}: "
+                                    f"{events_at_now} events without advancing; "
+                                    f"offending tags: {offenders}"
+                                )
+                        if (
+                            max_events is not None
+                            and self._events_processed > max_events
+                        ):
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; runaway model?"
                             )
-                        window_start = wall_now
+                        if (
+                            wall_deadline is not None
+                            and self._events_processed % 512 == 0
+                            and _time.monotonic() - wall_start > wall_deadline
+                        ):
+                            raise SimulationError(
+                                f"wall-clock deadline of {wall_deadline:g}s "
+                                f"exceeded at t={self._now:.6f} after "
+                                f"{self._events_processed} events"
+                            )
+                        if sanitizer is not None:
+                            sanitizer.observe(
+                                event.time, event.priority, event.tag, event.callback
+                            )
+                        if not collect:
+                            event.callback()
+                        else:
+                            tag = event.tag or "<untagged>"
+                            tag_counts[tag] = tag_counts.get(tag, 0) + 1
+                            run_events += 1
+                            if profile:
+                                handler_start = _time.perf_counter()
+                                event.callback()
+                                tag_wall[tag] = (
+                                    tag_wall.get(tag, 0.0)
+                                    + _time.perf_counter()
+                                    - handler_start
+                                )
+                            else:
+                                event.callback()
+                            if run_events % _THROUGHPUT_WINDOW == 0:
+                                wall_now = _time.monotonic()
+                                window = wall_now - window_start
+                                if window > 0 and throughput is not None:
+                                    throughput.record(
+                                        self._now, _THROUGHPUT_WINDOW / window
+                                    )
+                                window_start = wall_now
+                        if self._stopped:
+                            break
+                finally:
+                    if index < len(batch):
+                        queue.reinject(batch[index:])
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
             return self._now
@@ -362,6 +455,9 @@ class Simulator:
                     registry.counter(
                         "kernel.handler_wall_seconds", tag=tag
                     ).inc(wall)
+                if batches:
+                    registry.counter("kernel.event_batches").inc(batches)
+                    registry.counter("kernel.batched_events").inc(batched_events)
                 elapsed = _time.monotonic() - run_start
                 if run_events and elapsed > 0:
                     registry.gauge("kernel.events_per_sec").set(

@@ -98,6 +98,7 @@ class NodeStack:
             on_packet_dropped=self._on_packet_dropped,
             eligible_links=self._eligible_links,
             dequeue_for=self._dequeue_for,
+            has_pending=self.buffer.has_pending,
         )
 
     # --- local traffic entry point --------------------------------------------------

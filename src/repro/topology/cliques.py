@@ -92,3 +92,19 @@ def maximal_cliques(graph: ContentionGraph) -> list[Clique]:
 def cliques_of_link(cliques: list[Clique], a_link: Link) -> list[Clique]:
     """The subset of ``cliques`` containing ``a_link``."""
     return [clique for clique in cliques if a_link in clique]
+
+
+def link_clique_index(
+    cliques: list[Clique],
+) -> dict[Link, tuple[tuple[int, int], ...]]:
+    """Map each canonical link to the ids of the cliques containing it.
+
+    Solvers that repeatedly ask "which cliques does this link cross?"
+    (water-filling, traversal counting) build this once instead of
+    scanning every clique per link; ids are in clique order.
+    """
+    lists: dict[Link, list[tuple[int, int]]] = {}
+    for clique in cliques:
+        for a_link in clique.sorted_links():
+            lists.setdefault(a_link, []).append(clique.clique_id)
+    return {a_link: tuple(ids) for a_link, ids in lists.items()}

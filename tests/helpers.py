@@ -89,6 +89,9 @@ class QueueNode:
             if queue
         }
 
+    def has_pending(self) -> bool:
+        return any(self.queues.values())
+
     def services(self) -> NodeServices:
         return NodeServices(
             dequeue=self.dequeue,
@@ -96,6 +99,7 @@ class QueueNode:
             on_packet_dropped=lambda packet, nh: self.dropped.append(packet),
             eligible_links=self.eligible_links,
             dequeue_for=self.dequeue_for,
+            has_pending=self.has_pending,
         )
 
 

@@ -1,0 +1,159 @@
+"""Tests for the batched fast-path dispatcher and the tombstone heap.
+
+The kernel pops events in batches when no watchdog or observer is
+armed; these tests pin the invariants that keep batched dispatch
+indistinguishable from one-at-a-time dispatch — cancellation inside a
+batch, preemption by newly scheduled higher-priority events, stop and
+exceptions mid-batch, and tombstone compaction bookkeeping.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import EventQueue
+from repro.sim.kernel import Simulator
+
+
+def test_cancel_within_same_time_batch_skips_callback():
+    sim = Simulator()
+    seen = []
+    later = sim.call_at(1.0, lambda: seen.append("b"), priority=1)
+
+    def first():
+        seen.append("a")
+        later.cancel()
+
+    sim.call_at(1.0, first, priority=0)
+    sim.run()
+    assert seen == ["a"]
+
+
+def test_same_time_lower_priority_event_preempts_batch():
+    # A callback that schedules a same-time event with a priority lower
+    # than a pending batch member must see the new event dispatched
+    # first, exactly as unbatched (time, priority, seq) order demands.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("a")
+        sim.call_at(1.0, lambda: order.append("c"), priority=1)
+
+    sim.call_at(1.0, first, priority=0)
+    sim.call_at(1.0, lambda: order.append("b"), priority=5)
+    sim.run()
+    assert order == ["a", "c", "b"]
+
+
+def test_stop_mid_batch_preserves_remaining_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("a")
+        sim.stop()
+
+    sim.call_at(1.0, first, priority=0)
+    sim.call_at(1.0, lambda: seen.append("b"), priority=1)
+    sim.call_at(1.0, lambda: seen.append("c"), priority=2)
+    sim.run()
+    assert seen == ["a"]
+    # The interrupted batch was reinjected; a second run drains it in
+    # the original order.
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_exception_mid_batch_preserves_remaining_events():
+    sim = Simulator()
+    seen = []
+
+    def boom():
+        seen.append("a")
+        raise RuntimeError("handler failure")
+
+    sim.call_at(1.0, boom, priority=0)
+    sim.call_at(1.0, lambda: seen.append("b"), priority=1)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_cancelled_timers_never_fire_under_churn():
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.call_at(float(index + 1), (lambda n: (lambda: fired.append(n)))(index))
+        for index in range(500)
+    ]
+    for index, event in enumerate(events):
+        if index % 2:
+            event.cancel()
+    sim.run()
+    assert fired == [index for index in range(500) if index % 2 == 0]
+
+
+def test_every_survives_cancellation_churn_around_it():
+    sim = Simulator()
+    ticks = []
+    stop = sim.every(1.0, lambda: ticks.append(sim.now))
+    # Churn: schedule and immediately cancel many one-shots so the heap
+    # compacts tombstones while the recurring slot keeps re-arming.
+    for index in range(600):
+        sim.call_at(0.5 + index * 0.01, lambda: None).cancel()
+    sim.call_at(5.5, stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_tombstones_compact_in_bulk():
+    queue = EventQueue()
+    events = [queue.push(float(index), lambda: None) for index in range(1200)]
+    for event in events[:900]:
+        event.cancel()
+    # Lazy cancellation leaves tombstones in the heap until the
+    # compaction threshold trips, after which the live count and the
+    # tombstone count must agree with the survivors.
+    assert len(queue) == 300
+    assert queue.tombstones < 900
+    popped = [queue.pop() for _ in range(300)]
+    assert [event.time for event in popped] == [float(i) for i in range(900, 1200)]
+    assert not queue
+
+
+def test_repush_rejects_event_still_in_heap():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        queue.repush(event, 2.0)
+
+
+def test_repush_reuses_slot_with_fresh_sequence():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    first_seq = event.seq
+    assert queue.pop() is event
+    queue.repush(event, 2.0)
+    assert event.seq > first_seq
+    assert event.time == 2.0
+    assert queue.pop() is event
+
+
+def test_pop_batch_respects_limit_and_horizon():
+    queue = EventQueue()
+    for index in range(10):
+        queue.push(float(index), lambda: None)
+    batch = queue.pop_batch(4, 100.0)
+    assert [event.time for event in batch] == [0.0, 1.0, 2.0, 3.0]
+    batch = queue.pop_batch(100, 5.5)
+    assert [event.time for event in batch] == [4.0, 5.0]
+    assert len(queue) == 4
+
+
+def test_batched_run_counts_every_dispatch():
+    sim = Simulator()
+    for index in range(257):  # spans several batch boundaries
+        sim.call_at(1.0 + index * 1e-6, lambda: None)
+    sim.run()
+    assert sim.events_processed == 257
