@@ -12,21 +12,31 @@ Examples::
         --faults "crash:1@20;recover:1@40" --rate-interval 1
     python -m repro figure3 --substrate fluid --profile \
         --metrics-out m.jsonl --trace-out t.json
+    python -m repro figure3 --substrate fluid --profile \
+        --inspect-out narrative.txt
     python -m repro sweep --scenarios figure3,figure4 --seeds 1,2,3 \
         --workers 4 --json sweep.json
+    python -m repro fidelity --tables 1,2,3,4 --seeds 1,2,3 \
+        --json FIDELITY.json --markdown FIDELITY.md
+    python -m repro explain figure3 --flow 2
 
 Fault specs (``--faults``) are semicolon-separated events; see
 :mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
 ``--trace-out`` / ``--profile`` turn on the telemetry subsystem
 (:mod:`repro.telemetry`); the trace JSON loads in Perfetto or
 ``about:tracing``, and GMP runs additionally print the convergence
-narrative from :mod:`repro.analysis.inspector`.
+narrative from :mod:`repro.analysis.inspector` (``--inspect-out``
+persists it).  ``fidelity`` regenerates the paper's Tables 1-4 and
+checks every EXPERIMENTS.md shape assertion (:mod:`repro.fidelity`);
+``explain`` attributes each flow's rate to its bottleneck clique,
+active local condition, and centralized-reference gap.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.inspector import inspect_run
 from repro.core.config import GmpConfig
@@ -68,6 +78,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.scenarios.sweep import sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "fidelity":
+        from repro.fidelity.harness import fidelity_main
+
+        return fidelity_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.fidelity.explain import explain_main
+
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario", choices=("figure1", "figure2", "figure3", "figure4")
@@ -134,6 +152,13 @@ def main(argv: list[str] | None = None) -> int:
         "print the telemetry summary",
     )
     parser.add_argument(
+        "--inspect-out",
+        default=None,
+        metavar="PATH",
+        help="persist the convergence-inspector narrative to PATH "
+        "(GMP runs; implies telemetry)",
+    )
+    parser.add_argument(
         "--trace-categories",
         default=None,
         metavar="CATS",
@@ -150,7 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    telemetry_on = bool(args.metrics_out or args.trace_out or args.profile)
+    telemetry_on = bool(
+        args.metrics_out or args.trace_out or args.profile or args.inspect_out
+    )
     telemetry = (
         Telemetry(enabled=True, profile=args.profile) if telemetry_on else None
     )
@@ -224,8 +251,20 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(format_summary(telemetry))
         if "maxmin_reference" in result.extras:
+            narrative = inspect_run(result).narrative()
             print()
-            print(inspect_run(result).narrative())
+            print(narrative)
+            if args.inspect_out:
+                Path(args.inspect_out).write_text(
+                    narrative + "\n", encoding="utf-8"
+                )
+                print(f"inspector narrative -> {args.inspect_out}")
+        elif args.inspect_out:
+            print(
+                "warning: --inspect-out needs a GMP run (no maxmin "
+                "reference recorded); nothing written",
+                file=sys.stderr,
+            )
     if trace is not None:
         note = f"structured trace: {len(trace)} records"
         if trace.dropped:

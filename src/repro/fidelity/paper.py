@@ -1,0 +1,464 @@
+"""Tables 1–4 of the paper's evaluation (§7), machine-readable.
+
+Each :class:`PaperTable` binds a paper table to the scenario / protocol
+columns that regenerate it and carries two kinds of ground truth:
+
+* the **paper's numbers** (per-flow packets/second, effective
+  throughput ``U``, the maxmin index ``I_mm``, the Chiu–Jain equality
+  index ``I_eq``) for cell-by-cell paper-vs-ours deltas; and
+* the **shape assertions** from EXPERIMENTS.md — the within-table
+  properties (orderings, β-band equal splits, weight-ordered rates,
+  fairness repair) that are the reproduction target, since the paper's
+  absolute packet rates depend on unstated PHY-overhead assumptions
+  (see EXPERIMENTS.md "Absolute-scale calibration").
+
+Shape assertions are plain predicates over a measured table, so they
+are unit-testable without a simulator and CI-checkable through the
+fidelity harness (:mod:`repro.fidelity.harness`).  Assertions that
+only hold on the packet-level DCF substrate (MAC-bias effects the
+fluid substrate cannot exhibit) declare their applicable substrates
+and are reported as skipped elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.conditions import beta_equal
+
+#: The paper's equality tolerance (§6.3); shape assertions reuse it.
+PAPER_BETA = 0.10
+
+
+@dataclass(frozen=True)
+class MeasuredColumn:
+    """One regenerated table column: a protocol's run at one seed."""
+
+    protocol: str
+    substrate: str
+    seed: int
+    rates: dict[int, float]
+    normalized: dict[int, float]
+    u: float
+    i_mm: float
+    i_eq: float
+
+
+#: A measured table: protocol name -> column, for one seed.
+TableMeasurement = dict[str, MeasuredColumn]
+
+#: A shape predicate: measured table -> (passed, detail-with-numbers).
+ShapeCheck = Callable[[TableMeasurement], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ShapeAssertion:
+    """One checkable within-table property.
+
+    Attributes:
+        assertion_id: stable id, e.g. ``"t3-gmp-repairs"`` — the
+            fidelity baseline ratchets on these.
+        description: what EXPERIMENTS.md asserts, in one line.
+        check: the predicate; returns pass/fail plus a detail string
+            quoting the measured numbers.
+        substrates: substrates the property holds on, or None for all.
+    """
+
+    assertion_id: str
+    description: str
+    check: ShapeCheck
+    substrates: tuple[str, ...] | None = None
+
+    def applies_to(self, substrate: str) -> bool:
+        return self.substrates is None or substrate in self.substrates
+
+
+@dataclass(frozen=True)
+class PaperColumn:
+    """The paper's values for one protocol column (None = unreported)."""
+
+    rates: dict[int, float] | None = None
+    u: float | None = None
+    i_mm: float | None = None
+    i_eq: float | None = None
+
+
+@dataclass(frozen=True)
+class PaperTable:
+    """One evaluation table: scenario binding + ground truth + shapes."""
+
+    table_id: int
+    title: str
+    scenario: str  # sweep-grid scenario name
+    protocols: tuple[str, ...]
+    weights: dict[int, float]
+    paper: dict[str, PaperColumn]
+    assertions: tuple[ShapeAssertion, ...] = field(default_factory=tuple)
+
+    def flow_ids(self) -> list[int]:
+        return sorted(self.weights)
+
+
+# --- assertion helpers -----------------------------------------------------------
+
+
+def _fmt_rates(rates: dict[int, float]) -> str:
+    return ", ".join(f"f{fid}={rate:.1f}" for fid, rate in sorted(rates.items()))
+
+
+def _equal_split(
+    protocol: str, flow_ids: tuple[int, ...], tolerance: float
+) -> ShapeCheck:
+    """All named flows' rates pairwise β-equal (at ``tolerance``)."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        rates = {fid: measured[protocol].rates[fid] for fid in flow_ids}
+        values = list(rates.values())
+        ok = all(
+            beta_equal(a, b, tolerance)
+            for index, a in enumerate(values)
+            for b in values[index + 1 :]
+        )
+        return ok, f"{protocol}: {_fmt_rates(rates)} (tolerance {tolerance:g})"
+
+    return check
+
+
+def _rate_ratio_above(
+    protocol: str, flow_id: int, others: tuple[int, ...], factor: float
+) -> ShapeCheck:
+    """``rate(flow_id) >= factor * max(rate(others))``."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        column = measured[protocol]
+        top = column.rates[flow_id]
+        rest = max(column.rates[fid] for fid in others)
+        return (
+            top >= factor * rest,
+            f"{protocol}: f{flow_id}={top:.1f} vs max(others)={rest:.1f} "
+            f"(need {factor:g}x)",
+        )
+
+    return check
+
+
+def _rate_order(protocol: str, ordered: tuple[int, ...]) -> ShapeCheck:
+    """Rates strictly decreasing along ``ordered``."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        rates = measured[protocol].rates
+        ok = all(
+            rates[a] > rates[b] for a, b in zip(ordered, ordered[1:])
+        )
+        chain = " > ".join(f"f{fid}" for fid in ordered)
+        return ok, f"{protocol}: want {chain}; got {_fmt_rates(rates)}"
+
+    return check
+
+
+def _normalized_top(protocol: str, flow_id: int) -> ShapeCheck:
+    """``flow_id`` holds the largest *normalized* rate in the column."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        normalized = measured[protocol].normalized
+        top = normalized[flow_id]
+        rest = max(mu for fid, mu in normalized.items() if fid != flow_id)
+        return (
+            top > rest,
+            f"{protocol}: normalized f{flow_id}={top:.1f} vs best other "
+            f"{rest:.1f}",
+        )
+
+    return check
+
+
+def _imm_below(protocol: str, ceiling: float) -> ShapeCheck:
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        value = measured[protocol].i_mm
+        return value < ceiling, f"I_mm({protocol})={value:.3f} (need < {ceiling:g})"
+
+    return check
+
+
+def _gmp_repairs(floor: float, margin: float) -> ShapeCheck:
+    """GMP's I_mm clears ``floor`` and beats both baselines by ``margin``."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        gmp = measured["gmp"].i_mm
+        baselines = {
+            protocol: column.i_mm
+            for protocol, column in measured.items()
+            if protocol != "gmp"
+        }
+        best = max(baselines.values(), default=0.0)
+        ok = gmp >= floor and gmp >= best + margin
+        others = ", ".join(
+            f"I_mm({protocol})={value:.3f}"
+            for protocol, value in sorted(baselines.items())
+        )
+        return ok, f"I_mm(gmp)={gmp:.3f} vs {others} (floor {floor:g}, margin {margin:g})"
+
+    return check
+
+
+def _rate_spread_below(protocol: str, ceiling: float) -> ShapeCheck:
+    """Relative spread ``(max - min) / max`` of the column's rates."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        rates = measured[protocol].rates
+        top = max(rates.values())
+        spread = (top - min(rates.values())) / top if top > 0 else 0.0
+        return (
+            spread <= ceiling,
+            f"{protocol}: spread {spread:.2f} of {_fmt_rates(rates)} "
+            f"(need <= {ceiling:g})",
+        )
+
+    return check
+
+
+def _top_flows(protocol: str, expected: frozenset[int]) -> ShapeCheck:
+    """The ``len(expected)`` largest rates belong exactly to ``expected``."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        rates = measured[protocol].rates
+        ranked = sorted(rates, key=lambda fid: (-rates[fid], fid))
+        top = frozenset(ranked[: len(expected)])
+        want = ",".join(f"f{fid}" for fid in sorted(expected))
+        got = ",".join(f"f{fid}" for fid in sorted(top))
+        return top == expected, f"{protocol}: top flows {got} (want {want})"
+
+    return check
+
+
+def _group_ratio(
+    protocol: str,
+    numerator: tuple[int, ...],
+    denominator: tuple[int, ...],
+    factor: float,
+) -> ShapeCheck:
+    """Mean rate of one flow group exceeds ``factor`` × the other's."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        rates = measured[protocol].rates
+        num = sum(rates[fid] for fid in numerator) / len(numerator)
+        den = sum(rates[fid] for fid in denominator) / len(denominator)
+        return (
+            num >= factor * den,
+            f"{protocol}: mean({','.join(f'f{f}' for f in numerator)})={num:.1f} "
+            f"vs mean({','.join(f'f{f}' for f in denominator)})={den:.1f} "
+            f"(need {factor:g}x)",
+        )
+
+    return check
+
+
+def _fairness_floor(protocol: str, i_mm: float, i_eq: float) -> ShapeCheck:
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        column = measured[protocol]
+        ok = column.i_mm >= i_mm and column.i_eq >= i_eq
+        return (
+            ok,
+            f"{protocol}: I_mm={column.i_mm:.3f} (floor {i_mm:g}), "
+            f"I_eq={column.i_eq:.3f} (floor {i_eq:g})",
+        )
+
+    return check
+
+
+def _u_ordering(ordered: tuple[str, ...], slack: float) -> ShapeCheck:
+    """``U`` non-increasing along ``ordered`` protocols, within ``slack``
+    relative tolerance (the fluid substrate conserves clique capacity,
+    so its three U values coincide)."""
+
+    def check(measured: TableMeasurement) -> tuple[bool, str]:
+        us = {protocol: measured[protocol].u for protocol in ordered}
+        ok = all(
+            us[a] >= us[b] * (1.0 - slack) for a, b in zip(ordered, ordered[1:])
+        )
+        detail = " >= ".join(f"U({p})={us[p]:.0f}" for p in ordered)
+        return ok, f"{detail} (slack {slack:g})"
+
+    return check
+
+
+# --- the tables ------------------------------------------------------------------
+
+TABLE_1 = PaperTable(
+    table_id=1,
+    title="Table 1: unweighted maxmin on Figure 2",
+    scenario="figure2",
+    protocols=("gmp",),
+    weights={1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0},
+    paper={
+        "gmp": PaperColumn(
+            rates={1: 563.96, 2: 196.96, 3: 217.57, 4: 221.41},
+            # All four flows are 1-hop, so U and the indices are
+            # derived exactly from the paper's per-flow rates.
+            u=1199.90,
+            i_mm=0.349,
+            i_eq=0.794,
+        ),
+    },
+    assertions=(
+        ShapeAssertion(
+            "t1-equal-split",
+            "f2 ≈ f3 ≈ f4: equal split of clique 1 (spread < 2β)",
+            _equal_split("gmp", (2, 3, 4), 2 * PAPER_BETA),
+        ),
+        ShapeAssertion(
+            "t1-f1-residual",
+            "f1 rides clique 0's residual, well above the clique-1 flows",
+            _rate_ratio_above("gmp", 1, (2, 3, 4), 1.25),
+        ),
+    ),
+)
+
+TABLE_2 = PaperTable(
+    table_id=2,
+    title="Table 2: weighted maxmin on Figure 2 (weights 1,2,1,3)",
+    scenario="figure2w",
+    protocols=("gmp",),
+    weights={1: 1.0, 2: 2.0, 3: 1.0, 4: 3.0},
+    paper={
+        "gmp": PaperColumn(
+            rates={1: 527.58, 2: 225.40, 3: 121.90, 4: 377.20},
+            u=1252.08,
+            i_mm=0.231,
+            i_eq=0.806,
+        ),
+    },
+    assertions=(
+        ShapeAssertion(
+            "t2-weight-order",
+            "clique-1 rates ordered by weight: f4 > f2 > f3",
+            _rate_order("gmp", (4, 2, 3)),
+        ),
+        ShapeAssertion(
+            "t2-f1-opportunistic",
+            "f1 holds the largest normalized rate (clique 0's residual)",
+            _normalized_top("gmp", 1),
+        ),
+    ),
+)
+
+TABLE_3 = PaperTable(
+    table_id=3,
+    title="Table 3: the three-link chain (Figure 3)",
+    scenario="figure3",
+    protocols=("802.11", "2pp", "gmp"),
+    weights={1: 1.0, 2: 1.0, 3: 1.0},
+    paper={
+        "802.11": PaperColumn(
+            rates={1: 80.63, 2: 220.07, 3: 174.09},
+            u=856.11,
+            i_mm=0.366,
+            i_eq=0.882,
+        ),
+        "2pp": PaperColumn(
+            rates={1: 131.86, 2: 188.76, 3: 240.85},
+            u=1013.96,
+            i_mm=0.547,
+            i_eq=0.946,
+        ),
+        "gmp": PaperColumn(
+            rates={1: 164.75, 2: 176.04, 3: 179.21},
+            u=1025.54,
+            i_mm=0.919,
+            i_eq=0.999,
+        ),
+    },
+    assertions=(
+        ShapeAssertion(
+            "t3-80211-unfair",
+            "plain 802.11 is severely unfair (I_mm < 0.6)",
+            _imm_below("802.11", 0.6),
+        ),
+        ShapeAssertion(
+            "t3-2pp-unfair",
+            "2PP remains unfair (I_mm < 0.6)",
+            _imm_below("2pp", 0.6),
+        ),
+        ShapeAssertion(
+            "t3-gmp-repairs",
+            "GMP repairs the chain: I_mm ≥ 0.8 and ≫ both baselines",
+            _gmp_repairs(0.8, 0.2),
+        ),
+        ShapeAssertion(
+            "t3-2pp-surplus-1hop",
+            "2PP's LP hands the surplus to the 1-hop flow ⟨2,3⟩",
+            _top_flows("2pp", frozenset({3})),
+        ),
+        ShapeAssertion(
+            "t3-gmp-band",
+            "GMP equalizes the three flows (relative spread ≤ 0.25)",
+            _rate_spread_below("gmp", 0.25),
+        ),
+    ),
+)
+
+TABLE_4 = PaperTable(
+    table_id=4,
+    title="Table 4: the four-gadget row (Figure 4)",
+    scenario="figure4",
+    protocols=("802.11", "2pp", "gmp"),
+    weights={fid: 1.0 for fid in range(1, 9)},
+    paper={
+        # Per-flow 802.11 rates are fixed by the topology
+        # reconstruction (EXPERIMENTS.md): each gadget's flow pair
+        # shares one source FIFO, so pair rates are identical.
+        "802.11": PaperColumn(
+            rates={
+                1: 221.81,
+                2: 221.81,
+                3: 107.29,
+                4: 107.28,
+                5: 106.36,
+                6: 106.36,
+                7: 223.39,
+                8: 223.39,
+            },
+            u=1976.54,
+            i_mm=0.476,
+            i_eq=0.890,
+        ),
+        # The paper reports only ranges per flow group for 2PP/GMP;
+        # the indices are exact.
+        "2pp": PaperColumn(rates=None, u=None, i_mm=0.125, i_eq=0.514),
+        "gmp": PaperColumn(rates=None, u=None, i_mm=0.888, i_eq=0.998),
+    },
+    assertions=(
+        ShapeAssertion(
+            "t4-gmp-equalizes",
+            "GMP approximately equalizes all eight flows "
+            "(I_mm ≥ 0.75, I_eq ≥ 0.95)",
+            _fairness_floor("gmp", 0.75, 0.95),
+        ),
+        ShapeAssertion(
+            "t4-2pp-side-1hop",
+            "2PP starves everything except the side 1-hop flows f2/f8",
+            _top_flows("2pp", frozenset({2, 8})),
+        ),
+        ShapeAssertion(
+            "t4-80211-side-bias",
+            "802.11 favors side gadgets ≈2:1 over middle gadgets "
+            "(media-access bias; DCF substrate only)",
+            _group_ratio("802.11", (1, 2, 7, 8), (3, 4, 5, 6), 1.3),
+            substrates=("dcf",),
+        ),
+        ShapeAssertion(
+            "t4-u-ordering",
+            "U(802.11) ≥ U(GMP) ≥ U(2PP) (within 1%)",
+            _u_ordering(("802.11", "gmp", "2pp"), 0.01),
+        ),
+    ),
+)
+
+#: Every encoded table, keyed by paper table number.
+PAPER_TABLES: dict[int, PaperTable] = {
+    1: TABLE_1,
+    2: TABLE_2,
+    3: TABLE_3,
+    4: TABLE_4,
+}

@@ -98,6 +98,23 @@ def figure2(weights: tuple[float, float, float, float] = (1, 1, 1, 1)) -> Scenar
     )
 
 
+#: Table 2's weight vector (flows f1..f4).
+TABLE2_WEIGHTS = (1.0, 2.0, 1.0, 3.0)
+
+
+def figure2_weighted() -> Scenario:
+    """Fig. 2 with Table 2's weights (1, 2, 1, 3).
+
+    A zero-argument factory so the weighted-maxmin experiment is
+    addressable from the sweep grid and the fidelity harness, which
+    identify scenarios by name; the scenario is named ``figure2w`` so
+    its cache entries never collide with unweighted ``figure2`` runs.
+    """
+    scenario = figure2(weights=TABLE2_WEIGHTS)
+    scenario.name = "figure2w"
+    return scenario
+
+
 def figure3() -> Scenario:
     """Fig. 3: the three-link chain 0–1–2–3 (200 m spacing).
 

@@ -86,6 +86,47 @@ class RunResult:
             for flow_id, rate in self.flow_rates.items()
         }
 
+    def point_summary(self) -> dict[str, Any]:
+        """JSON-plain summary of this run — the sweep-cache record.
+
+        Carries everything the fidelity harness and CI consume without
+        re-running the scenario: per-flow raw and normalized rates,
+        hop counts, weights, and the three paper metrics (``U``,
+        ``I_mm``, ``I_eq``).  Flow ids become string keys so a freshly
+        computed summary is byte-identical to one recalled from a JSON
+        cache.
+        """
+        weights = self.extras.get("flow_weights", {})
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "substrate": self.substrate,
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "flow_rates": {
+                str(flow_id): rate
+                for flow_id, rate in sorted(self.flow_rates.items())
+            },
+            "normalized_rates": {
+                str(flow_id): rate / weights.get(flow_id, 1.0)
+                for flow_id, rate in sorted(self.flow_rates.items())
+            },
+            "flow_weights": {
+                str(flow_id): weights.get(flow_id, 1.0)
+                for flow_id in sorted(self.flow_rates)
+            },
+            "hop_counts": {
+                str(flow_id): hops
+                for flow_id, hops in sorted(self.hop_counts.items())
+            },
+            "effective_throughput": self.effective_throughput,
+            "i_mm": self.i_mm,
+            "i_eq": self.i_eq,
+            "buffer_drops": self.buffer_drops,
+            "mac_drops": self.mac_drops,
+        }
+
     def summary_table(self) -> str:
         """Paper-style text table of this run."""
         rows: list[list[object]] = [

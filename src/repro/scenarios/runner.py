@@ -383,6 +383,12 @@ def run_scenario(
                 capacity_pps,
             )
             extras["maxmin_reference"] = dict(reference.rates)
+            # The full solution (bottleneck clique per flow, clique
+            # usage) plus the clique list and capacity feed the
+            # per-flow rate explainer (repro.fidelity.explain).
+            extras["maxmin_solution"] = reference
+            extras["cliques"] = topology_cliques()
+            extras["capacity_pps"] = capacity_pps
     if trace is not None:
         extras["trace"] = trace
 
@@ -390,7 +396,11 @@ def run_scenario(
     flow_rates: dict[int, float] = {}
     hop_counts: dict[int, int] = {}
     flow_delays: dict[int, float] = {}
+    flow_paths: dict[int, list] = {}
     for flow in flows:
+        flow_paths[flow.flow_id] = list(
+            routes.path_links(flow.source, flow.destination)
+        )
         sink = stacks[flow.destination]
         delivered = sink.delivered.get(flow.flow_id, 0) - warm_counts.get(
             flow.flow_id, 0
@@ -402,6 +412,8 @@ def run_scenario(
             sink.delay_sum.get(flow.flow_id, 0.0) / total if total else float("nan")
         )
     extras["flow_delays"] = flow_delays
+    extras["flow_paths"] = flow_paths
+    extras["flow_weights"] = {flow.flow_id: flow.weight for flow in flows}
 
     buffer_drops = sum(stack.buffer.drops for stack in stacks.values())
     mac_drops = sum(stack.mac_drops for stack in stacks.values())

@@ -40,13 +40,22 @@ from multiprocessing import get_context
 from pathlib import Path
 
 from repro.errors import ConfigError
-from repro.scenarios.figures import figure1, figure2, figure3, figure4
+from repro.scenarios.figures import (
+    figure1,
+    figure2,
+    figure2_weighted,
+    figure3,
+    figure4,
+)
 from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
 
-#: Scenario factories addressable from a sweep grid.
+#: Scenario factories addressable from a sweep grid.  ``figure2w`` is
+#: Figure 2 under Table 2's weights (1, 2, 1, 3) — a separate name so
+#: weighted and unweighted runs never share cache entries.
 SCENARIO_FACTORIES = {
     "figure1": figure1,
     "figure2": figure2,
+    "figure2w": figure2_weighted,
     "figure3": figure3,
     "figure4": figure4,
 }
@@ -171,8 +180,11 @@ def _point_digest(point: SweepPoint, fingerprint: str) -> str:
 def run_point(point: SweepPoint) -> dict:
     """Run one grid point and summarize it as plain JSON data.
 
-    Flow ids become string keys so a freshly computed summary is
-    byte-identical to one recalled from the JSON cache.
+    The summary is :meth:`~repro.scenarios.results.RunResult.
+    point_summary` — raw and normalized per-flow rates, hop counts,
+    weights, and the paper metrics ``U``/``I_mm``/``I_eq`` — with the
+    *grid* scenario name substituted so cache keys and summaries agree
+    (e.g. the ``figure2w`` grid name rather than the scenario's own).
     """
     scenario = SCENARIO_FACTORIES[point.scenario]()
     result = run_scenario(
@@ -182,23 +194,9 @@ def run_point(point: SweepPoint) -> dict:
         duration=point.duration,
         seed=point.seed,
     )
-    return {
-        "scenario": point.scenario,
-        "protocol": point.protocol,
-        "substrate": point.substrate,
-        "seed": point.seed,
-        "duration": point.duration,
-        "warmup": result.warmup,
-        "flow_rates": {
-            str(flow_id): rate
-            for flow_id, rate in sorted(result.flow_rates.items())
-        },
-        "effective_throughput": result.effective_throughput,
-        "i_mm": result.i_mm,
-        "i_eq": result.i_eq,
-        "buffer_drops": result.buffer_drops,
-        "mac_drops": result.mac_drops,
-    }
+    summary = result.point_summary()
+    summary["scenario"] = point.scenario
+    return summary
 
 
 def _worker(args: tuple[str, str, str, int, float]) -> dict:

@@ -10,8 +10,10 @@ architectural property instead of a testing hope.
 
 ``__init__`` and ``__main__`` sit above everything (they are the public
 API surface and the CLI); ``scenarios`` is the assembly layer just
-below them.  ``simcheck`` itself depends on nothing but ``errors`` so
-it can never be contaminated by the code it audits.
+below them, and ``fidelity`` (the paper-table harness and run-health
+detectors) consumes finished runs on top of it.  ``simcheck`` itself
+depends on nothing but ``errors`` so it can never be contaminated by
+the code it audits.
 """
 
 from __future__ import annotations
@@ -87,6 +89,17 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "baselines",
         "faults",
         "analysis",
+    },
+    "fidelity": {
+        "errors",
+        "units",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "core",
+        "analysis",
+        "scenarios",
     },
     "__init__": None,
     "__main__": None,

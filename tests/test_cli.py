@@ -114,3 +114,145 @@ def test_cli_traffic_models(capsys):
             ]
         )
         assert code == 0
+
+
+def test_cli_inspect_out_persists_the_narrative(capsys, tmp_path):
+    narrative = tmp_path / "narrative.txt"
+    code = main(
+        [
+            "figure3",
+            "--substrate",
+            "fluid",
+            "--duration",
+            "10",
+            "--inspect-out",
+            str(narrative),
+        ]
+    )
+    assert code == 0
+    saved = narrative.read_text(encoding="utf-8")
+    assert "convergence narrative" in saved
+    out = capsys.readouterr().out
+    assert "inspector narrative ->" in out
+    # The printed narrative and the persisted one agree.
+    assert saved.strip().splitlines()[0] in out
+
+
+def test_cli_inspect_out_warns_without_gmp(capsys, tmp_path):
+    narrative = tmp_path / "narrative.txt"
+    code = main(
+        [
+            "figure3",
+            "--protocol",
+            "802.11",
+            "--substrate",
+            "fluid",
+            "--duration",
+            "5",
+            "--inspect-out",
+            str(narrative),
+        ]
+    )
+    assert code == 0
+    assert not narrative.exists()
+    assert "--inspect-out needs a GMP run" in capsys.readouterr().err
+
+
+def test_cli_fidelity_writes_json_and_markdown(capsys, tmp_path):
+    json_out = tmp_path / "FIDELITY.json"
+    markdown_out = tmp_path / "FIDELITY.md"
+    code = main(
+        [
+            "fidelity",
+            "--tables",
+            "1",
+            "--seeds",
+            "1",
+            "--duration",
+            "10",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+            str(json_out),
+            "--markdown",
+            str(markdown_out),
+        ]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(json_out.read_text(encoding="utf-8"))
+    assert payload["shapes_ok"] is True
+    assert "| metric | paper gmp | ours gmp | Δ% |" in markdown_out.read_text(
+        encoding="utf-8"
+    )
+    assert "shapes:" in capsys.readouterr().err
+
+
+def test_cli_fidelity_baseline_ratchet(capsys, tmp_path):
+    baseline = tmp_path / "fidelity-baseline.json"
+    common = [
+        "fidelity",
+        "--tables",
+        "1",
+        "--seeds",
+        "1",
+        "--duration",
+        "10",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+        "--baseline",
+        str(baseline),
+    ]
+    assert main(common + ["--update-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    # Checking against the just-written baseline agrees.
+    assert main(common + ["--check-baseline"]) == 0
+    # A baseline recording an assertion the harness no longer produces
+    # fails the check.
+    import json
+
+    recorded = json.loads(baseline.read_text(encoding="utf-8"))
+    recorded["shapes"]["t1:t1-removed"] = "pass"
+    baseline.write_text(json.dumps(recorded), encoding="utf-8")
+    capsys.readouterr()
+    assert main(common + ["--check-baseline"]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
+def test_cli_fidelity_rejects_unknown_table(capsys):
+    code = main(["fidelity", "--tables", "9", "--seeds", "1"])
+    assert code == 2
+    assert "unknown paper table" in capsys.readouterr().err
+
+
+def test_cli_explain_names_bottleneck_and_condition(capsys, tmp_path):
+    json_out = tmp_path / "explain.json"
+    code = main(
+        [
+            "explain",
+            "figure3",
+            "--flow",
+            "2",
+            "--duration",
+            "10",
+            "--json",
+            str(json_out),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flow 2" in out
+    assert "clique" in out
+    assert "maxmin" in out
+    import json
+
+    payload = json.loads(json_out.read_text(encoding="utf-8"))
+    assert payload[0]["flow_id"] == 2
+
+
+def test_cli_explain_rejects_unknown_scenario(capsys):
+    code = main(["explain", "figure99", "--flow", "1"])
+    assert code == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Per-flow rate explainers: bottleneck attribution, condition dwell,
+and the reference-gap arithmetic."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigError
+from repro.fidelity.explain import explain_all, explain_flow, run_and_explain
+from repro.scenarios.figures import figure3
+from repro.scenarios.results import RunResult
+from repro.scenarios.runner import run_scenario
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    telemetry = Telemetry(enabled=True)
+    return run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=20.0,
+        seed=1,
+        telemetry=telemetry,
+        rate_interval=1.0,
+    )
+
+
+def test_explain_names_clique_condition_and_gap(figure3_result):
+    explanation = explain_flow(figure3_result, 2)
+    # All three figure-3 flows share the one chain clique.
+    assert explanation.bottleneck_clique is not None
+    assert explanation.bottleneck_links  # member links are surfaced
+    assert not explanation.desire_limited
+    assert explanation.reference_rate > 0
+    assert explanation.gap == pytest.approx(
+        explanation.measured_rate - explanation.reference_rate
+    )
+    assert explanation.active_condition in (
+        "bandwidth_saturated", "buffer_saturated"
+    )
+    assert explanation.path[0][0] == 1  # flow 2 starts at node 1
+    assert explanation.path[-1][1] == 3
+    # Path links carry per-state dwell seconds toward the destination.
+    assert explanation.condition_dwell
+    for states in explanation.condition_dwell.values():
+        assert all(seconds >= 0 for seconds in states.values())
+
+
+def test_narrative_mentions_the_key_facts(figure3_result):
+    text = explain_flow(figure3_result, 2).narrative()
+    assert "flow 2" in text
+    assert "clique" in text
+    assert "maxmin" in text
+    assert "condition" in text
+
+
+def test_explain_all_covers_every_flow(figure3_result):
+    explanations = explain_all(figure3_result)
+    assert [e.flow_id for e in explanations] == sorted(
+        figure3_result.flow_rates
+    )
+
+
+def test_explanation_serializes_to_json(figure3_result):
+    payload = explain_flow(figure3_result, 1).to_json()
+    assert payload["flow_id"] == 1
+    assert isinstance(payload["bottleneck_clique"], list)
+    assert payload["path"]
+    assert isinstance(payload["condition_dwell"], dict)
+
+
+def test_unknown_flow_raises(figure3_result):
+    with pytest.raises(AnalysisError, match="unknown flow"):
+        explain_flow(figure3_result, 99)
+
+
+def test_run_without_reference_cannot_be_explained():
+    bare = RunResult(
+        scenario="bare",
+        protocol="802.11",
+        substrate="fluid",
+        duration=10.0,
+        warmup=3.0,
+        seed=1,
+        flow_rates={1: 50.0},
+        hop_counts={1: 1},
+        effective_throughput=50.0,
+    )
+    with pytest.raises(AnalysisError, match="maxmin_solution"):
+        explain_flow(bare, 1)
+
+
+def test_run_and_explain_validates_scenario_name():
+    with pytest.raises(ConfigError, match="unknown scenario"):
+        run_and_explain("figure99", 1)
+
+
+def test_run_and_explain_single_flow():
+    explanations = run_and_explain(
+        "figure3", 2, substrate="fluid", duration=10.0, seed=1
+    )
+    assert len(explanations) == 1
+    assert explanations[0].flow_id == 2

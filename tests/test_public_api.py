@@ -35,6 +35,7 @@ def test_subpackage_docstrings_exist():
     import repro.baselines
     import repro.buffers
     import repro.core
+    import repro.fidelity
     import repro.flows
     import repro.mac
     import repro.routing
@@ -48,6 +49,7 @@ def test_subpackage_docstrings_exist():
         repro.baselines,
         repro.buffers,
         repro.core,
+        repro.fidelity,
         repro.flows,
         repro.mac,
         repro.routing,
