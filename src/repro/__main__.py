@@ -19,6 +19,9 @@ Examples::
     python -m repro fidelity --tables 1,2,3,4 --seeds 1,2,3 \
         --json FIDELITY.json --markdown FIDELITY.md
     python -m repro explain figure3 --flow 2
+    python -m repro figure3 --substrate fluid \
+        --churn "poisson:rate=0.3,mean_hold=6,hold=pareto" --duration 60
+    python -m repro fuzz --budget 60 --seed 1
 
 Fault specs (``--faults``) are semicolon-separated events; see
 :mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
@@ -39,6 +42,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.inspector import inspect_run
+from repro.churn.spec import parse_churn_spec
 from repro.core.config import GmpConfig
 from repro.errors import ReproError
 from repro.faults.spec import parse_fault_spec
@@ -86,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fidelity.explain import explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario", choices=("figure1", "figure2", "figure3", "figure4")
@@ -97,7 +105,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--period", type=float, default=2.0, help="GMP period (s)")
     parser.add_argument("--beta", type=float, default=0.10)
     parser.add_argument(
-        "--traffic", choices=("cbr", "poisson", "onoff"), default="cbr"
+        "--traffic",
+        choices=("cbr", "poisson", "onoff", "pareto-onoff"),
+        default="cbr",
+    )
+    parser.add_argument(
+        "--churn",
+        default=None,
+        help="dynamic workload, e.g. "
+        '"poisson:rate=0.3,mean_hold=6,hold=pareto" or '
+        '"adversary:burst=2,on=2,off=2"',
     )
     parser.add_argument(
         "--weights",
@@ -203,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         scenario = _build_scenario(args)
         faults = parse_fault_spec(args.faults) if args.faults else None
+        churn = parse_churn_spec(args.churn) if args.churn else None
         kwargs = dict(
             protocol=args.protocol,
             substrate=args.substrate,
@@ -211,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             traffic=args.traffic,
             gmp_config=GmpConfig(period=args.period, beta=args.beta),
             faults=faults,
+            churn=churn,
             rate_interval=args.rate_interval,
             max_events=args.max_events,
             stall_limit=args.stall_limit,
@@ -236,6 +255,22 @@ def main(argv: list[str] | None = None) -> int:
     if "faults" in result.extras:
         for when, text in result.extras["faults"]:
             print(f"fault @ t={when:.3f}s: {text}")
+    if "churn" in result.extras:
+        churn_report = result.extras["churn"]
+        print(
+            f"churn: {churn_report.arrivals} arrival(s), "
+            f"{churn_report.departures} departure(s), "
+            f"{churn_report.skipped_at_cap} skipped at cap; "
+            + ("teardown clean" if churn_report.clean else "STATE RESIDUE")
+        )
+        convergence = result.extras.get("per_arrival_convergence", {})
+        settled = [t for t in convergence.values() if t is not None]
+        if settled:
+            print(
+                f"per-arrival convergence: median "
+                f"{sorted(settled)[len(settled) // 2]:.1f}s over "
+                f"{len(settled)}/{len(convergence)} arrival(s)"
+            )
 
     if telemetry is not None:
         if args.metrics_out:

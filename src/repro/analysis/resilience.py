@@ -12,7 +12,10 @@ quantify how the protocol rode out the fault:
   any flow fell to during the transient;
 * :func:`surviving_maxmin_reference` — the maxmin allocation on the
   *surviving* topology, i.e. what the rates should reconverge to while
-  crashed nodes are down.
+  crashed nodes are down;
+* :func:`per_arrival_convergence` — for dynamic workloads (flow
+  churn), how long after each flow's *arrival* its delivered rate
+  settled, measured against its own steady level late in its lifetime.
 """
 
 from __future__ import annotations
@@ -258,6 +261,95 @@ def evaluate_transient(
         goodput_lost=lost,
         min_rate_dip=dip,
     )
+
+
+def per_arrival_convergence(
+    interval_rates: dict[int, list[float]],
+    interval: float,
+    *,
+    lifetimes: dict[int, tuple[float, float]],
+    epsilon: float = 0.15,
+    atol: float = 5.0,
+    hold: int = 3,
+    tail: float = 0.25,
+    bounds: list[float] | None = None,
+) -> dict[int, float | None]:
+    """Seconds from each flow's arrival until its rate settled.
+
+    With churn there is no single external reference allocation — the
+    feasible share changes with every arrival and departure — so each
+    flow is measured against *its own* steady level: the mean of the
+    last ``tail`` fraction of its in-lifetime samples.  A flow settles
+    at the end of the first run of ``hold`` consecutive in-lifetime
+    samples within ``epsilon`` (relative) + ``atol`` (absolute,
+    packets/s) of that level.
+
+    Args:
+        interval_rates: the run's per-interval rate series (a flow's
+            samples before its arrival are zero-padded by the runner).
+        interval: nominal window width (``RunResult.rate_interval``).
+        lifetimes: flow id → (arrival, departure) for the flows to
+            evaluate — typically ``RunResult.flow_lifetimes``.
+        epsilon: relative tolerance around the steady level.
+        atol: absolute tolerance in packets/second (interval sampling
+            of a stochastic arrival process never sits exactly on the
+            mean, so a purely relative band under-reports).
+        hold: consecutive in-band samples required.
+        tail: fraction of the lifetime's samples defining the level.
+        bounds: the run's ``interval_bounds`` (true window edges).
+
+    Returns:
+        flow id → seconds after arrival, or None when the flow never
+        settled (or lived for fewer than ``hold`` windows, or its
+        steady level is zero — a flow that never got going has no
+        convergence time).
+
+    Raises:
+        AnalysisError: on bad tolerances or a lifetime flow with no
+            rate series.
+    """
+    if hold < 1:
+        raise AnalysisError(f"hold must be >= 1: {hold}")
+    if epsilon < 0 or atol < 0:
+        raise AnalysisError("tolerances must be non-negative")
+    if not 0 < tail <= 1:
+        raise AnalysisError(f"tail fraction must lie in (0, 1]: {tail}")
+    if not lifetimes:
+        return {}
+    count = _check_series(interval_rates, interval)
+    edges = _window_edges(count, interval, bounds)
+
+    settled: dict[int, float | None] = {}
+    for flow_id, (arrival, departure) in sorted(lifetimes.items()):
+        series = interval_rates.get(flow_id)
+        if series is None:
+            raise AnalysisError(f"no rate series for flow {flow_id}")
+        in_life = [
+            index
+            for index in range(count)
+            if edges[index] >= arrival - 1e-9
+            and edges[index + 1] <= departure + 1e-9
+        ]
+        if len(in_life) < hold:
+            settled[flow_id] = None
+            continue
+        tail_count = max(1, math.ceil(tail * len(in_life)))
+        level_samples = [series[index] for index in in_life[-tail_count:]]
+        level = sum(level_samples) / len(level_samples)
+        if level <= 0:
+            settled[flow_id] = None
+            continue
+        band = epsilon * level + atol
+        streak = 0
+        answer: float | None = None
+        for index in in_life:
+            streak = streak + 1 if abs(series[index] - level) <= band else 0
+            if streak >= hold:
+                first = in_life[in_life.index(index) - hold + 1]
+                answer = edges[first + 1] - arrival
+                break
+        settled[flow_id] = answer
+    return settled
 
 
 def surviving_maxmin_reference(

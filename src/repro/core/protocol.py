@@ -134,6 +134,9 @@ class GmpProtocol:
             node: {} for node in stacks
         }
         self._sources: dict[int, _SourceState] = {}
+        # Archive of departed flows' states (limit history etc.): pure
+        # record keeping, never consulted by decision code.
+        self._departed: dict[int, _SourceState] = {}
         self._observer = _Observer(self)
         self._violation_streak: dict[Link, int] = {}
         self._pending_adjustments: list[dict[int, list[RateRequest]]] = []
@@ -170,7 +173,111 @@ class GmpProtocol:
         flow = self.flows.get(flow_id)
         if flow_id in self._sources:
             raise ProtocolError(f"source for flow {flow_id} already registered")
-        self._sources[flow_id] = _SourceState(flow=flow, traffic=traffic)
+        state = _SourceState(flow=flow, traffic=traffic)
+        state.admitted_snapshot = traffic.admitted
+        state.admitted_snapshot_mid = traffic.admitted
+        self._sources[flow_id] = state
+
+    # --- dynamic workloads (flow churn) ------------------------------------------
+
+    def add_flow(self, flow: Flow, traffic: TrafficSource) -> None:
+        """Register a flow arriving mid-run.
+
+        Adds the flow to the shared :class:`FlowSet`, grafts its path
+        into the grand virtual network, and registers its traffic
+        source; the next period boundary measures it like any other
+        flow (its first period understates the rate if it arrived
+        mid-period — one period of noise, exactly like start-up).
+
+        Raises:
+            ProtocolError: on duplicate ids or an unroutable flow.
+        """
+        self.flows.add(flow)
+        try:
+            self.gvn.add_flow(flow)
+        except ProtocolError:
+            self.flows.remove(flow.flow_id)
+            raise
+        self.register_source(flow.flow_id, traffic)
+        self._departed.pop(flow.flow_id, None)
+        if self._tm is not None:
+            self._tm.event(self.sim.now, "gmp.flow_arrived", flow=flow.flow_id)
+
+    def remove_flow(self, flow_id: int) -> None:
+        """Tear down every trace of a departing flow.
+
+        Releases the source registration and its rate limit, removes
+        the flow from the :class:`FlowSet` and the grand virtual
+        network, and garbage-collects per-virtual-link decision state
+        (condition memory, violation streaks) plus any in-flight
+        control requests addressed to the flow — a departed flow must
+        not influence surviving flows.  The state is archived so
+        :meth:`limit_history` keeps answering for it.
+
+        Raises:
+            ProtocolError: for unknown flow ids.
+        """
+        state = self._sources.pop(flow_id, None)
+        if state is None:
+            raise ProtocolError(f"unknown flow {flow_id}")
+        state.traffic.set_rate_limit(None)
+        state.limit_history.append(None)
+        self._departed[flow_id] = state
+        self.flows.remove(flow_id)
+        vanished = self.gvn.remove_flow(state.flow)
+        for vlink in vanished:
+            self._last_condition.pop(vlink, None)
+        live_links = {a_link for a_link, _dest in self.gvn.all_virtual_links()}
+        for a_link in [
+            a_link for a_link in self._violation_streak if a_link not in live_links
+        ]:
+            del self._violation_streak[a_link]
+        # Control packets still in flight toward the departed source
+        # (control_delay_periods > 0) die with it.
+        for pending in self._pending_adjustments:
+            pending.pop(flow_id, None)
+        if self._tm is not None:
+            self._tm.event(self.sim.now, "gmp.flow_departed", flow=flow_id)
+
+    def departure_audit(self, flow_id: int) -> list[str]:
+        """Post-departure state audit: anything still referencing a
+        departed flow, as human-readable findings (empty when clean).
+
+        The churn engine runs this after every departure (and the fuzz
+        oracles at end of run); a non-empty result means per-flow state
+        leaked and may still be steering surviving flows.
+        """
+        residue: list[str] = []
+        if flow_id in self._sources:
+            residue.append(f"flow {flow_id}: source state still registered")
+        if flow_id in self.flows:
+            residue.append(f"flow {flow_id}: still present in the flow set")
+        residue.extend(self.gvn.flow_residue(flow_id))
+        for index, pending in enumerate(self._pending_adjustments):
+            if flow_id in pending:
+                residue.append(
+                    f"flow {flow_id}: pending rate adjustment retained "
+                    f"(slot {index})"
+                )
+        state = self._departed.get(flow_id)
+        if state is not None and state.traffic.rate_limit is not None:
+            residue.append(
+                f"flow {flow_id}: rate limit "
+                f"{state.traffic.rate_limit:g} still installed on its source"
+            )
+        live_vlinks = set(self.gvn.all_virtual_links())
+        for vlink in sorted(self._last_condition):
+            if vlink not in live_vlinks:
+                residue.append(
+                    f"stale condition entry for defunct virtual link {vlink}"
+                )
+        live_links = {a_link for a_link, _dest in live_vlinks}
+        for a_link in sorted(self._violation_streak):
+            if a_link not in live_links:
+                residue.append(
+                    f"stale violation streak for defunct link {a_link}"
+                )
+        return residue
 
     def stamp(self, packet: Packet) -> None:
         """``on_generate`` hook: piggyback the flow's normalized rate.
@@ -841,8 +948,9 @@ class GmpProtocol:
         }
 
     def limit_history(self, flow_id: int) -> list[float | None]:
-        """Per-period rate-limit trajectory of a flow."""
-        try:
-            return list(self._sources[flow_id].limit_history)
-        except KeyError:
-            raise ProtocolError(f"unknown flow {flow_id}") from None
+        """Per-period rate-limit trajectory of a flow (departed flows
+        answer from the archive)."""
+        state = self._sources.get(flow_id) or self._departed.get(flow_id)
+        if state is None:
+            raise ProtocolError(f"unknown flow {flow_id}")
+        return list(state.limit_history)

@@ -66,3 +66,14 @@ class FaultError(ReproError):
 class InvariantError(ReproError):
     """An end-of-run invariant audit failed (packet conservation broken
     or a negative rate/occupancy was observed)."""
+
+
+class ChurnError(ReproError):
+    """A churn specification is malformed or the churn engine was
+    driven against a scenario it cannot churn (e.g. the static 2PP
+    allocation, or a topology with no routable node pair)."""
+
+
+class FuzzError(ReproError):
+    """The scenario fuzzer was misconfigured (bad budget, malformed
+    repro spec, unknown planted bug)."""

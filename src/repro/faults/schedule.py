@@ -86,8 +86,10 @@ class FaultSchedule:
 
     Raises:
         FaultError: on negative times, probabilities outside [0, 1],
-            empty windows, a `LinkDegrade` with nothing to degrade, or
-            unbalanced crash/recover sequences for a node.
+            empty windows, a `LinkDegrade` with nothing to degrade,
+            unbalanced crash/recover sequences for a node, or two
+            windowed faults (control loss, loss bursts on one link)
+            whose windows overlap.
     """
 
     def __init__(self, events: list[FaultEvent] | tuple[FaultEvent, ...] = ()) -> None:
@@ -95,6 +97,7 @@ class FaultSchedule:
         for event in self._events:
             self._validate_event(event)
         self._validate_crash_pairing()
+        self._validate_window_overlap()
 
     @staticmethod
     def _validate_event(event: FaultEvent) -> None:
@@ -139,6 +142,62 @@ class FaultSchedule:
                         "without a preceding crash"
                     )
                 down.discard(event.node)
+
+    def _validate_window_overlap(self) -> None:
+        """Reject windowed faults whose windows overlap on one target.
+
+        The injector applies each window by setting state at ``at`` and
+        clearing it at ``until``; two overlapping windows on the same
+        target would silently clobber each other (the first ``until``
+        clears the second window's effect), so the combination is a
+        spec error, not a workload.
+        """
+        control: list[ControlLoss] = []
+        bursts: dict[Link, list[PacketLossBurst]] = {}
+        for event in self.in_order():
+            if isinstance(event, ControlLoss):
+                control.append(event)
+            elif isinstance(event, PacketLossBurst):
+                i, j = event.link
+                key = (i, j) if i <= j else (j, i)
+                bursts.setdefault(key, []).append(event)
+
+        def check(windows: list, target: str) -> None:
+            for first, second in zip(windows, windows[1:]):
+                if second.at < first.until:
+                    raise FaultError(
+                        f"overlapping {target} windows: "
+                        f"[{first.at:g}, {first.until:g}) and "
+                        f"[{second.at:g}, {second.until:g})"
+                    )
+
+        check(control, "control-loss")
+        for key, events in sorted(bursts.items()):
+            check(events, f"loss-burst ({key[0]}-{key[1]})")
+
+    def validate_within(self, duration: float) -> None:
+        """Reject events at or windows extending past ``duration``.
+
+        A fault scheduled beyond the run's end silently never fires —
+        almost always a misconfigured scenario (e.g. a recovery the
+        resilience metrics would wait for in vain) — so the scenario
+        runner calls this once the run length is known.
+
+        Raises:
+            FaultError: naming the first offending event.
+        """
+        for event in self.in_order():
+            if event.at > duration:
+                raise FaultError(
+                    f"fault at t={event.at:g} lies beyond the run "
+                    f"duration {duration:g}: {event}"
+                )
+            until = getattr(event, "until", None)
+            if until is not None and until > duration:
+                raise FaultError(
+                    f"fault window [{event.at:g}, {until:g}) extends past "
+                    f"the run duration {duration:g}: {event}"
+                )
 
     def __len__(self) -> int:
         return len(self._events)

@@ -135,7 +135,14 @@ def _interval_edges(result: RunResult) -> list[tuple[float, float]]:
 def detect_starved_flows(
     result: RunResult, config: AnomalyConfig = DEFAULT_CONFIG
 ) -> list[Finding]:
-    """Sustained zero-delivery stretches of flows that could deliver."""
+    """Sustained zero-delivery stretches of flows that could deliver.
+
+    Dynamic workloads: each flow is scanned only inside its own
+    lifetime window (``result.flow_lifetimes``).  A flow that
+    legitimately departed mid-run delivers nothing afterwards — that is
+    a departure, not starvation — and a flow arriving late gets its own
+    settle grace instead of being measured against the run's warmup.
+    """
     findings: list[Finding] = []
     if not result.interval_bounds:
         return findings
@@ -143,6 +150,10 @@ def detect_starved_flows(
     reference = result.extras.get("maxmin_reference", {})
     edges = _interval_edges(result)
     for flow_id, rates in sorted(result.interval_rates.items()):
+        arrival, departure = result.lifetime(flow_id)
+        flow_warmup_end = warmup_end
+        if arrival > 0.0:
+            flow_warmup_end = max(warmup_end, arrival + config.window)
         could_deliver = reference.get(flow_id, 0.0) > config.starve_rate
         run_start: float | None = None
         run_end = 0.0
@@ -169,7 +180,11 @@ def detect_starved_flows(
             run_start = None
 
         for (start, end), rate in zip(edges, rates):
-            if end <= warmup_end:
+            if start < arrival - 1e-9 or end > departure + 1e-9:
+                # Window not fully inside the flow's lifetime: silence
+                # there is absence, not starvation.
+                continue
+            if end <= flow_warmup_end:
                 # Start-up: remember only whether the flow ever moved.
                 if rate > config.starve_rate:
                     could_deliver = True
@@ -205,8 +220,11 @@ def detect_rate_oscillation(
         for flow_id, rates in result.interval_rates.items():
             series[flow_id] = (list(result.interval_bounds), list(rates))
     for flow_id, (times, values) in sorted(series.items()):
+        arrival, departure = result.lifetime(flow_id)
         tail = [
-            value for when, value in zip(times, values) if when >= tail_start
+            value
+            for when, value in zip(times, values)
+            if when >= tail_start and arrival < when <= departure + 1e-9
         ]
         if len(tail) < 3:
             continue

@@ -68,6 +68,22 @@ class FlowSet:
             raise FlowError(f"duplicate flow id {flow.flow_id}")
         self._flows[flow.flow_id] = flow
 
+    def remove(self, flow_id: int) -> Flow:
+        """Remove and return a flow (dynamic-workload departure).
+
+        Raises:
+            FlowError: for unknown ids.
+        """
+        try:
+            return self._flows.pop(flow_id)
+        except KeyError:
+            raise FlowError(f"unknown flow id {flow_id}") from None
+
+    def next_flow_id(self) -> int:
+        """Smallest id strictly above every existing flow's (1 when
+        empty) — what a churn engine assigns to the next arrival."""
+        return max(self._flows, default=0) + 1
+
     def __len__(self) -> int:
         return len(self._flows)
 

@@ -56,6 +56,7 @@ class TrafficSource:
         self._bucket: TokenBucket | None = None
         self._started = False
         self._paused = False
+        self._stopped = False
         self._pending = None  # the scheduled next-tick Event, if any
         self.generated = 0  # offers that passed the rate limit
         self.admitted = 0  # accepted by the node stack
@@ -100,8 +101,12 @@ class TrafficSource:
             self._pending = None
 
     def resume(self) -> None:
-        """Restart a paused source from the current time.  Idempotent."""
-        if not self._paused:
+        """Restart a paused source from the current time.  Idempotent.
+
+        A stopped source stays stopped: a flow that departed while its
+        source node was down does not rise again with the node.
+        """
+        if not self._paused or self._stopped:
             return
         self._paused = False
         if self._started:
@@ -109,14 +114,32 @@ class TrafficSource:
                 self._next_interval(), self._tick, tag=f"traffic.f{self.flow.flow_id}"
             )
 
+    def stop(self) -> None:
+        """Permanently stop offering packets (flow departure).
+
+        Unlike :meth:`pause` this is final — counters freeze, the rate
+        limit is discarded, and neither :meth:`resume` nor a node
+        recovery restarts the source.  Idempotent.
+        """
+        self._stopped = True
+        self._bucket = None
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
     @property
     def paused(self) -> bool:
         """True while the source is paused by fault injection."""
         return self._paused
 
+    @property
+    def stopped(self) -> bool:
+        """True once the flow departed and the source shut down."""
+        return self._stopped
+
     def _tick(self) -> None:
         self._pending = None
-        if self._paused:
+        if self._paused or self._stopped:
             return
         if self._passes_rate_limit():
             self.generated += 1
@@ -218,5 +241,74 @@ class OnOffSource(TrafficSource):
         # Burst ended: draw an off period, then a fresh on period.
         off = float(rng.exponential(self._mean_off))
         on = float(rng.exponential(self._mean_on))
+        self._on_until = now + off + on
+        return off + spacing
+
+
+def pareto_draw(rng, mean: float, alpha: float) -> float:
+    """One draw from a Pareto distribution with the given *mean*.
+
+    The scale is solved from ``mean = alpha * x_m / (alpha - 1)``, so
+    the long-run average matches an exponential of the same mean while
+    the tail stays heavy (infinite variance for ``alpha <= 2``).
+
+    Raises:
+        FlowError: unless ``alpha > 1`` (the mean diverges otherwise)
+            and ``mean > 0``.
+    """
+    if alpha <= 1.0:
+        raise FlowError(f"pareto shape must exceed 1 for a finite mean: {alpha}")
+    if mean <= 0:
+        raise FlowError(f"pareto mean must be positive: {mean}")
+    scale = mean * (alpha - 1.0) / alpha
+    return scale * (1.0 + float(rng.pareto(alpha)))
+
+
+class ParetoOnOffSource(TrafficSource):
+    """Heavy-tailed phase switching: Pareto on/off durations.
+
+    Bursts send CBR at ``peak_factor * d(f)``; both phase lengths are
+    Pareto with shape ``alpha`` (default 1.5 — infinite variance), so a
+    single flow occasionally holds the channel, or goes dark, for far
+    longer than the exponential model ever would.  With equal mean
+    on/off durations and ``peak_factor=2`` the long-run offered rate
+    equals ``d(f)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: Flow,
+        admit: Callable[[Packet], bool],
+        *,
+        on_generate: Callable[[Packet], None] | None = None,
+        mean_on: float = 1.0,
+        mean_off: float = 1.0,
+        alpha: float = 1.5,
+        peak_factor: float = 2.0,
+    ) -> None:
+        super().__init__(sim, flow, admit, on_generate=on_generate)
+        if mean_on <= 0 or mean_off <= 0 or peak_factor <= 0:
+            raise FlowError(
+                f"flow {flow.flow_id}: on/off parameters must be positive"
+            )
+        if alpha <= 1.0:
+            raise FlowError(
+                f"flow {flow.flow_id}: pareto shape must exceed 1, got {alpha}"
+            )
+        self._mean_on = mean_on
+        self._mean_off = mean_off
+        self._alpha = alpha
+        self._peak_rate = peak_factor * flow.desired_rate
+        self._on_until = 0.0
+
+    def _next_interval(self) -> float:
+        rng = self.sim.rng.stream(f"traffic.pareto.f{self.flow.flow_id}")
+        spacing = 1.0 / self._peak_rate
+        now = self.sim.now
+        if now < self._on_until:
+            return spacing
+        off = pareto_draw(rng, self._mean_off, self._alpha)
+        on = pareto_draw(rng, self._mean_on, self._alpha)
         self._on_until = now + off + on
         return off + spacing

@@ -1,0 +1,41 @@
+"""Property-based scenario fuzzing with oracle checking and shrinking.
+
+The fuzzer closes the loop the unit tests cannot: it generates whole
+*scenarios* — random connected topology, static flows, a churn process,
+a fault schedule — runs each one end to end, and checks properties that
+must hold for **any** workload (determinism, packet conservation, clean
+flow teardown, no starvation of deliverable flows, watchdog-clean
+termination).  Failures are automatically shrunk to minimal JSON specs
+that replay bit-for-bit and can be committed as regression fixtures.
+
+* :mod:`repro.fuzz.grammar` — the seeded scenario grammar and the
+  :class:`FuzzScenario` spec (JSON round-trip, committed-fixture
+  format);
+* :mod:`repro.fuzz.oracles` — the oracle battery and
+  :func:`~repro.fuzz.oracles.evaluate`;
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging
+  (:func:`~repro.fuzz.shrink.shrink`);
+* :mod:`repro.fuzz.cli` — ``python -m repro fuzz``.
+"""
+
+from repro.fuzz.grammar import (
+    FuzzScenario,
+    GrammarConfig,
+    build_scenario,
+    generate_scenarios,
+)
+from repro.fuzz.oracles import ORACLES, FuzzOutcome, OracleResult, evaluate
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "FuzzScenario",
+    "GrammarConfig",
+    "build_scenario",
+    "generate_scenarios",
+    "ORACLES",
+    "FuzzOutcome",
+    "OracleResult",
+    "evaluate",
+    "ShrinkResult",
+    "shrink",
+]

@@ -1,0 +1,341 @@
+"""The scenario grammar: generation and serialization.
+
+A :class:`FuzzScenario` is a *complete, self-contained* description of
+one randomized run — topology seed, static flows, churn spec, fault
+schedule, run seed, duration — small enough to commit as a regression
+fixture and precise enough to replay the identical simulation.  The
+churn and fault components reuse the library's textual DSLs
+(:func:`repro.churn.spec.parse_churn_spec`,
+:func:`repro.faults.spec.parse_fault_spec`), so a spec file doubles as
+a human-readable bug report.
+
+:func:`generate_scenarios` draws specs from a seeded grammar through a
+:class:`~repro.sim.rng.RngRegistry` — scenario ``i`` of budget ``N``
+under seed ``S`` is always the same spec, independent of how many
+other scenarios run, so a CI failure reproduces locally from just
+``(S, i)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.churn.spec import parse_churn_spec
+from repro.errors import FuzzError
+from repro.faults.spec import parse_fault_spec
+from repro.flows.flow import Flow, FlowSet
+from repro.routing.link_state import link_state_routes
+from repro.scenarios.figures import PAPER_DESIRED_RATE, Scenario
+from repro.sim.rng import RngRegistry
+from repro.topology.builders import random_topology
+
+#: Planted bugs the fuzzer can inject to validate its own oracle +
+#: shrinker pipeline (``--plant-bug``).
+PLANTED_BUGS = ("gmp-leak",)
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One randomized scenario, fully replayable.
+
+    Attributes:
+        nodes: node count of the random topology.
+        topo_seed: placement seed for :func:`random_topology`.
+        seed: the run's RNG seed.
+        duration: simulated seconds.
+        flows: static (source, dest) pairs; ids are assigned 1..n in
+            order.
+        churn: churn spec in compact text form, or None.
+        faults: fault schedule in the fault DSL, or None.
+        plant_bug: name of a deliberately injected defect (see
+            :data:`PLANTED_BUGS`), or None for an honest run.  Lives in
+            the spec so a shrunk planted-bug fixture replays the bug.
+    """
+
+    nodes: int
+    topo_seed: int
+    seed: int
+    duration: float
+    flows: tuple[tuple[int, int], ...]
+    churn: str | None = None
+    faults: str | None = None
+    plant_bug: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise FuzzError(f"need at least 2 nodes: {self.nodes}")
+        if self.duration <= 0:
+            raise FuzzError(f"duration must be positive: {self.duration}")
+        if not self.flows:
+            raise FuzzError("a scenario needs at least one static flow")
+        if self.plant_bug is not None and self.plant_bug not in PLANTED_BUGS:
+            raise FuzzError(
+                f"unknown planted bug {self.plant_bug!r}; "
+                f"known: {PLANTED_BUGS}"
+            )
+
+    # --- serialization ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-plain form (the committed-fixture format)."""
+        data: dict = {
+            "nodes": self.nodes,
+            "topo_seed": self.topo_seed,
+            "seed": self.seed,
+            "duration": self.duration,
+            "flows": [list(pair) for pair in self.flows],
+        }
+        if self.churn is not None:
+            data["churn"] = self.churn
+        if self.faults is not None:
+            data["faults"] = self.faults
+        if self.plant_bug is not None:
+            data["plant_bug"] = self.plant_bug
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FuzzScenario":
+        """Parse the committed-fixture format.
+
+        Raises:
+            FuzzError: on missing keys or malformed values.
+        """
+        try:
+            return cls(
+                nodes=int(data["nodes"]),
+                topo_seed=int(data["topo_seed"]),
+                seed=int(data["seed"]),
+                duration=float(data["duration"]),
+                flows=tuple(
+                    (int(pair[0]), int(pair[1])) for pair in data["flows"]
+                ),
+                churn=data.get("churn"),
+                faults=data.get("faults"),
+                plant_bug=data.get("plant_bug"),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise FuzzError(f"malformed fuzz spec: {error}") from None
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def read(cls, path: str | Path) -> "FuzzScenario":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise FuzzError(f"cannot read fuzz spec {path}: {error}") from None
+        return cls.from_json(data)
+
+    def label(self) -> str:
+        """Short human identifier (scenario name in run results)."""
+        return f"fuzz-n{self.nodes}-t{self.topo_seed}-s{self.seed}"
+
+
+def build_scenario(spec: FuzzScenario) -> Scenario:
+    """Materialize the spec's topology and static flows.
+
+    Also validates the churn/fault texts (so a malformed committed
+    fixture fails loudly here, not mid-run).
+
+    Raises:
+        FuzzError: for flow pairs outside the topology or unroutable;
+        ChurnError / FaultError: for malformed churn/fault texts.
+    """
+    topology = random_topology(
+        spec.nodes, seed=spec.topo_seed, require_connected=True
+    )
+    routes = link_state_routes(topology)
+    flow_list: list[Flow] = []
+    for index, (source, dest) in enumerate(spec.flows, start=1):
+        if source not in topology or dest not in topology:
+            raise FuzzError(
+                f"flow pair ({source}, {dest}) outside the {spec.nodes}-node "
+                "topology"
+            )
+        if not routes.table(source).has_route(dest):
+            raise FuzzError(f"flow pair ({source}, {dest}) is unroutable")
+        flow_list.append(
+            Flow(
+                flow_id=index,
+                source=source,
+                destination=dest,
+                desired_rate=PAPER_DESIRED_RATE,
+            )
+        )
+    if spec.churn is not None:
+        parse_churn_spec(spec.churn)
+    if spec.faults is not None:
+        parse_fault_spec(spec.faults)
+    return Scenario(
+        name=spec.label(),
+        topology=topology,
+        flows=FlowSet(flow_list),
+        notes="generated by repro.fuzz",
+    )
+
+
+def is_valid(spec: FuzzScenario) -> bool:
+    """Whether the spec materializes cleanly (shrinker candidates)."""
+    from repro.errors import ReproError
+
+    try:
+        build_scenario(spec)
+    except ReproError:
+        return False
+    return True
+
+
+@dataclass
+class GrammarConfig:
+    """Knobs of the generation grammar (defaults = CI smoke shape)."""
+
+    min_nodes: int = 4
+    max_nodes: int = 8
+    min_flows: int = 1
+    max_flows: int = 3
+    durations: tuple[float, ...] = (20.0, 30.0, 40.0)
+    churn_probability: float = 0.8
+    fault_probability: float = 0.5
+    traffic_models: tuple[str, ...] = ("cbr", "poisson", "onoff", "pareto-onoff")
+    hold_models: tuple[str, ...] = ("exp", "pareto")
+    seed_space: int = 2**31 - 1
+
+
+def _draw_flows(rng, routes, nodes: int, config: GrammarConfig):
+    pairs = [
+        (s, d)
+        for s in range(nodes)
+        for d in range(nodes)
+        if s != d and routes.table(s).has_route(d)
+    ]
+    count = min(int(rng.integers(config.min_flows, config.max_flows + 1)), len(pairs))
+    chosen: list[tuple[int, int]] = []
+    for _ in range(count):
+        remaining = [pair for pair in pairs if pair not in chosen]
+        if not remaining:
+            break
+        chosen.append(remaining[int(rng.integers(len(remaining)))])
+    return tuple(chosen)
+
+
+def _draw_churn(rng, config: GrammarConfig) -> str:
+    if rng.uniform() < 0.25:
+        burst = int(rng.integers(1, 4))
+        on = int(rng.integers(1, 4))
+        off = int(rng.integers(1, 4))
+        return f"adversary:burst={burst},on={on},off={off}"
+    rate = round(float(rng.uniform(0.15, 0.5)), 3)
+    mean_hold = round(float(rng.uniform(3.0, 10.0)), 2)
+    hold = config.hold_models[int(rng.integers(len(config.hold_models)))]
+    max_flows = int(rng.integers(2, 6))
+    traffic = config.traffic_models[int(rng.integers(len(config.traffic_models)))]
+    text = (
+        f"poisson:rate={rate},mean_hold={mean_hold},hold={hold},"
+        f"max_flows={max_flows},traffic={traffic}"
+    )
+    if hold == "pareto":
+        alpha = round(float(rng.uniform(1.2, 2.5)), 2)
+        text += f",alpha={alpha}"
+    return text
+
+
+def _draw_faults(rng, nodes: int, duration: float) -> str | None:
+    kind = int(rng.integers(3))
+    if kind == 0:
+        # Crash/recover one node mid-run.
+        node = int(rng.integers(nodes))
+        crash_at = round(float(rng.uniform(0.2, 0.5)) * duration, 2)
+        recover_at = round(
+            crash_at + float(rng.uniform(0.1, 0.3)) * duration, 2
+        )
+        if recover_at >= duration:
+            return f"crash:{node}@{crash_at}"
+        return f"crash:{node}@{crash_at};recover:{node}@{recover_at}"
+    if kind == 1:
+        # Control-plane loss window.
+        prob = round(float(rng.uniform(0.2, 0.9)), 2)
+        start = round(float(rng.uniform(0.2, 0.5)) * duration, 2)
+        end = round(start + float(rng.uniform(0.1, 0.4)) * duration, 2)
+        end = min(end, round(duration, 2))
+        if end <= start:
+            return None
+        return f"ctrl:{prob}@{start}-{end}"
+    return None  # fault-free third of the fault-enabled runs
+
+
+def generate_scenarios(
+    budget: int,
+    seed: int,
+    *,
+    config: GrammarConfig | None = None,
+    plant_bug: str | None = None,
+) -> list[FuzzScenario]:
+    """Draw ``budget`` scenarios from the grammar under ``seed``.
+
+    Each scenario uses its own registry stream (``fuzz.scenario.<i>``),
+    so the i-th spec is stable across budget changes.
+
+    Raises:
+        FuzzError: on a non-positive budget or unknown planted bug.
+    """
+    if budget < 1:
+        raise FuzzError(f"budget must be >= 1: {budget}")
+    if plant_bug is not None and plant_bug not in PLANTED_BUGS:
+        raise FuzzError(
+            f"unknown planted bug {plant_bug!r}; known: {PLANTED_BUGS}"
+        )
+    config = config or GrammarConfig()
+    registry = RngRegistry(seed)
+    specs: list[FuzzScenario] = []
+    for index in range(budget):
+        rng = registry.stream(f"fuzz.scenario.{index}")
+        nodes = int(rng.integers(config.min_nodes, config.max_nodes + 1))
+        topo_seed = int(rng.integers(config.seed_space))
+        run_seed = int(rng.integers(config.seed_space))
+        duration = float(
+            config.durations[int(rng.integers(len(config.durations)))]
+        )
+        topology = random_topology(
+            nodes, seed=topo_seed, require_connected=True
+        )
+        routes = link_state_routes(topology)
+        flows = _draw_flows(rng, routes, nodes, config)
+        if not flows:
+            # Degenerate placement; fall back to any routable pair.
+            flows = ((0, nodes - 1),)
+        churn = (
+            _draw_churn(rng, config)
+            if rng.uniform() < config.churn_probability
+            else None
+        )
+        # A planted GMP leak needs departures to leak on.
+        if plant_bug == "gmp-leak" and churn is None:
+            churn = _draw_churn(rng, config)
+        faults = (
+            _draw_faults(rng, nodes, duration)
+            if rng.uniform() < config.fault_probability
+            else None
+        )
+        spec = FuzzScenario(
+            nodes=nodes,
+            topo_seed=topo_seed,
+            seed=run_seed,
+            duration=duration,
+            flows=flows,
+            churn=churn,
+            faults=faults,
+            plant_bug=plant_bug,
+        )
+        if not is_valid(spec):
+            # e.g. the fallback pair is unroutable on this placement;
+            # regenerate as a minimal fault-free variant.
+            spec = replace(spec, faults=None)
+            if not is_valid(spec):
+                continue
+        specs.append(spec)
+    return specs

@@ -1,0 +1,177 @@
+"""Scenario shrinking: reduce a failing spec to a minimal repro.
+
+Greedy delta debugging over the spec's structure: each pass proposes a
+simpler candidate (drop the fault schedule, drop one fault event, drop
+one static flow, simplify the churn process, halve the duration,
+shrink the topology) and keeps it iff the candidate still fails *the
+same oracles* as the original.  Passes repeat until a full sweep
+changes nothing — the fixpoint is the spec committed as a regression
+fixture.
+
+Every candidate evaluation replays deterministically (same seeds), so
+shrinking is itself reproducible: the same failing spec always shrinks
+to the same minimal spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.churn.spec import parse_churn_spec
+from repro.errors import ReproError
+from repro.fuzz.grammar import FuzzScenario, is_valid
+from repro.fuzz.oracles import FuzzOutcome, evaluate
+
+#: Runs shorter than this stop being meaningful (warmup + a few GMP
+#: periods must fit).
+MIN_DURATION = 10.0
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session.
+
+    Attributes:
+        minimal: the smallest still-failing spec found.
+        original: the spec shrinking started from.
+        evaluations: candidate runs spent (each is two simulations).
+        steps: human-readable log of accepted reductions.
+    """
+
+    minimal: FuzzScenario
+    original: FuzzScenario
+    evaluations: int = 0
+    steps: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"shrink: {len(self.steps)} reduction(s) in "
+            f"{self.evaluations} evaluation(s)"
+        ]
+        lines.extend(f"  - {step}" for step in self.steps)
+        return "\n".join(lines)
+
+
+def _churn_candidates(spec: FuzzScenario) -> Iterator[tuple[str, FuzzScenario]]:
+    """Simplifications of the churn component, simplest-first."""
+    if spec.churn is None:
+        return
+    if spec.plant_bug is None:
+        # A planted GMP leak needs churn to manifest; otherwise try
+        # removing the whole process first.
+        yield "drop churn", replace(spec, churn=None)
+    try:
+        churn = parse_churn_spec(spec.churn)
+    except ReproError:
+        return
+    if churn.model == "poisson":
+        if churn.max_flows > 1:
+            yield (
+                "churn max_flows -> 1",
+                replace(spec, churn=replace(churn, max_flows=1).to_text()),
+            )
+        if churn.rate > 0.1:
+            yield (
+                "halve churn rate",
+                replace(
+                    spec,
+                    churn=replace(churn, rate=round(churn.rate / 2, 4)).to_text(),
+                ),
+            )
+        if churn.hold != "exp":
+            yield (
+                "churn hold -> exp",
+                replace(spec, churn=replace(churn, hold="exp").to_text()),
+            )
+        if churn.traffic != "cbr":
+            yield (
+                "churn traffic -> cbr",
+                replace(spec, churn=replace(churn, traffic="cbr").to_text()),
+            )
+    else:
+        if churn.burst > 1:
+            yield (
+                "adversary burst -> 1",
+                replace(spec, churn=replace(churn, burst=1).to_text()),
+            )
+
+
+def _fault_candidates(spec: FuzzScenario) -> Iterator[tuple[str, FuzzScenario]]:
+    """Simplifications of the fault component."""
+    if spec.faults is None:
+        return
+    yield "drop faults", replace(spec, faults=None)
+    events = [part.strip() for part in spec.faults.split(";") if part.strip()]
+    if len(events) > 1:
+        for index in range(len(events)):
+            kept = events[:index] + events[index + 1 :]
+            yield (
+                f"drop fault event {events[index]!r}",
+                replace(spec, faults=";".join(kept)),
+            )
+
+
+def _candidates(spec: FuzzScenario) -> Iterator[tuple[str, FuzzScenario]]:
+    """All one-step reductions, biggest-win-first."""
+    yield from _fault_candidates(spec)
+    yield from _churn_candidates(spec)
+    if len(spec.flows) > 1:
+        for index in range(len(spec.flows)):
+            kept = spec.flows[:index] + spec.flows[index + 1 :]
+            yield (
+                f"drop static flow {spec.flows[index]}",
+                replace(spec, flows=kept),
+            )
+    if spec.duration / 2 >= MIN_DURATION:
+        yield (
+            f"halve duration to {spec.duration / 2:g}s",
+            replace(spec, duration=spec.duration / 2),
+        )
+    if spec.nodes > 3:
+        yield (f"shrink to {spec.nodes - 1} nodes", replace(spec, nodes=spec.nodes - 1))
+
+
+def shrink(
+    spec: FuzzScenario,
+    failed_names: set[str],
+    *,
+    max_evaluations: int = 40,
+    still_fails: Callable[[FuzzScenario], FuzzOutcome] | None = None,
+) -> ShrinkResult:
+    """Reduce ``spec`` while it keeps failing the same oracles.
+
+    Args:
+        spec: the failing scenario.
+        failed_names: oracle names the original failed (a candidate is
+            accepted only if it fails at least one of them again —
+            shrinking must not wander onto a *different* bug).
+        max_evaluations: budget of candidate evaluations (each costs
+            two simulation runs).
+        still_fails: evaluation hook, overridable in tests; defaults to
+            :func:`repro.fuzz.oracles.evaluate`.
+    """
+    evaluate_spec = still_fails or evaluate
+    result = ShrinkResult(minimal=spec, original=spec)
+
+    def reproduces(candidate: FuzzScenario) -> bool:
+        result.evaluations += 1
+        outcome = evaluate_spec(candidate)
+        return bool(outcome.failed_names() & failed_names)
+
+    current = spec
+    improved = True
+    while improved and result.evaluations < max_evaluations:
+        improved = False
+        for label, candidate in _candidates(current):
+            if result.evaluations >= max_evaluations:
+                break
+            if not is_valid(candidate):
+                continue
+            if reproduces(candidate):
+                current = candidate
+                result.steps.append(label)
+                improved = True
+                break  # restart passes from the simpler spec
+    result.minimal = current
+    return result

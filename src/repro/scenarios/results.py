@@ -48,9 +48,15 @@ class RunResult:
             ``j`` covers ``(interval_bounds[j-1], interval_bounds[j]]``
             with an implicit leading 0.0); empty when no time series
             was recorded.
+        flow_lifetimes: flow id → (arrival, departure) simulated times
+            for flows that did not span the whole run (dynamic
+            workloads).  A flow absent from this map lived from 0 to
+            ``duration``; its rate excludes warmup as usual, while a
+            churned flow's rate is measured over its lifetime window.
         extras: protocol-specific diagnostics (e.g. GMP rate-limit
             history, 2PP allocation, fault log, invariant report, the
-            telemetry handle, the maxmin reference rates).
+            telemetry handle, the maxmin reference rates, the churn
+            report and per-arrival convergence times).
     """
 
     scenario: str
@@ -67,7 +73,13 @@ class RunResult:
     rate_interval: float | None = None
     interval_rates: dict[int, list[float]] = field(default_factory=dict)
     interval_bounds: list[float] = field(default_factory=list)
+    flow_lifetimes: dict[int, tuple[float, float]] = field(default_factory=dict)
     extras: dict[str, Any] = field(default_factory=dict)
+
+    def lifetime(self, flow_id: int) -> tuple[float, float]:
+        """The window a flow was alive: its churn lifetime if it had
+        one, else the whole run."""
+        return self.flow_lifetimes.get(flow_id, (0.0, self.duration))
 
     @property
     def i_mm(self) -> float:

@@ -22,6 +22,7 @@ Protocols:
 from __future__ import annotations
 
 from repro.analysis.maxmin_reference import weighted_maxmin_rates
+from repro.analysis.resilience import per_arrival_convergence
 from repro.analysis.throughput import effective_network_throughput
 from repro.baselines.dcf_plain import plain_dcf_buffer
 from repro.baselines.two_phase import two_phase_rates
@@ -32,13 +33,22 @@ from repro.buffers.queues import (
     PerFlowBuffer,
     SharedBackpressureBuffer,
 )
+from repro.churn.engine import ChurnEngine
+from repro.churn.spec import ChurnSpec
 from repro.core.config import GmpConfig
 from repro.core.protocol import GmpProtocol
 from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import audit_run
 from repro.faults.schedule import FaultSchedule
-from repro.flows.traffic import CbrSource, OnOffSource, PoissonSource, TrafficSource
+from repro.flows.flow import Flow, FlowSet
+from repro.flows.traffic import (
+    CbrSource,
+    OnOffSource,
+    ParetoOnOffSource,
+    PoissonSource,
+    TrafficSource,
+)
 from repro.mac.dcf import DcfConfig, DcfMac
 from repro.mac.fluid import FluidMac
 from repro.mac.phy import DEFAULT_PHY, PhyProfile
@@ -60,6 +70,7 @@ TRAFFIC_MODELS = {
     "cbr": CbrSource,
     "poisson": PoissonSource,
     "onoff": OnOffSource,
+    "pareto-onoff": ParetoOnOffSource,
 }
 
 ROUTING_PROTOCOLS = {
@@ -88,6 +99,7 @@ def run_scenario(
     traffic: str = "cbr",
     routing: str = "link_state",
     faults: FaultSchedule | None = None,
+    churn: ChurnSpec | None = None,
     rate_interval: float | None = None,
     check_invariants: bool | None = None,
     max_events: int | None = None,
@@ -114,16 +126,27 @@ def run_scenario(
             2PP allocation; defaults to the PHY saturation estimate.
         fluid_round: fluid substrate round interval.
         traffic: arrival process at the sources — "cbr" (the paper's
-            workload), "poisson", or "onoff".
+            workload), "poisson", "onoff", or "pareto-onoff"
+            (heavy-tailed phase switching).
         routing: how routing tables are built — "link_state" (default),
             "distance_vector", or "geographic" (GPSR-style greedy).
         faults: optional fault schedule (node churn, link degradation,
             control-plane loss) armed on the assembled stack; the
             applied-fault log lands in ``extras["faults"]``.
+        churn: optional dynamic-workload spec
+            (:class:`~repro.churn.spec.ChurnSpec`): flows arrive and
+            depart mid-run, driven by deterministic RNG streams.  The
+            scenario's static flow set is copied, not mutated, so the
+            same :class:`Scenario` object replays identically.  The
+            :class:`~repro.churn.engine.ChurnReport` lands in
+            ``extras["churn"]``; per-flow (arrival, departure) windows
+            in ``RunResult.flow_lifetimes``; per-arrival convergence
+            times in ``extras["per_arrival_convergence"]``.  Not
+            supported with the static 2PP allocation.
         rate_interval: if set, record per-flow delivered rates over
             consecutive windows of this many seconds (the time series
-            the resilience metrics consume).  A fault run defaults it
-            to 1.0 s.
+            the resilience metrics consume).  A fault or churn run
+            defaults it to 1.0 s.
         check_invariants: run the end-of-run packet-conservation audit
             and raise :class:`~repro.errors.InvariantError` on any
             violation.  ``None`` (default) enables the strict audit on
@@ -179,7 +202,12 @@ def run_scenario(
         warmup = duration / 3.0
     if not 0 <= warmup < duration:
         raise ConfigError(f"warmup {warmup} must lie within [0, {duration})")
-    if rate_interval is None and faults is not None:
+    if churn is not None and protocol == "2pp":
+        raise ConfigError(
+            "2pp enforces a static precomputed allocation; it cannot "
+            "take a dynamic workload (churn)"
+        )
+    if rate_interval is None and (faults is not None or churn is not None):
         rate_interval = 1.0
     if rate_interval is not None and not 0 < rate_interval <= duration:
         raise ConfigError(
@@ -191,8 +219,20 @@ def run_scenario(
     gmp_config = gmp_config or GmpConfig()
     topology = scenario.topology
     flows = scenario.flows
+    if churn is not None:
+        # The engine mutates the flow set as flows come and go; work on
+        # a copy so the Scenario object itself replays byte-identically
+        # (replay_check runs it twice).
+        flows = FlowSet(list(scenario.flows))
     routes = ROUTING_PROTOCOLS[routing](topology)
     assert_acyclic(routes, flows.destinations())
+    if churn is not None:
+        # Any routable node can become a churned flow's destination.
+        assert_acyclic(routes, sorted(topology.node_ids))
+    # Every flow that ever existed this run, static or churned; the
+    # measurement/sampling paths read it because departed flows leave
+    # the live set.
+    all_flows: dict[int, Flow] = {flow.flow_id: flow for flow in flows}
 
     sim = Simulator(
         seed=seed, trace=trace, telemetry=telemetry, sanitizer=sanitizer
@@ -293,10 +333,35 @@ def run_scenario(
 
     injector: FaultInjector | None = None
     if faults is not None:
+        faults.validate_within(duration)
         injector = FaultInjector(
             sim, faults, mac=mac, stacks=stacks, sources=sources, gmp=gmp
         )
         injector.arm()
+
+    churn_engine: ChurnEngine | None = None
+    if churn is not None:
+
+        def make_churn_source(flow: Flow) -> TrafficSource:
+            stack = stacks[flow.source]
+            on_generate = gmp.stamp if gmp is not None else None
+            return TRAFFIC_MODELS[churn.traffic](
+                sim, flow, stack.admit_local, on_generate=on_generate
+            )
+
+        churn_engine = ChurnEngine(
+            sim,
+            churn,
+            routes=routes,
+            flows=flows,
+            all_flows=all_flows,
+            stacks=stacks,
+            sources=sources,
+            make_source=make_churn_source,
+            gmp=gmp,
+            period=gmp_config.period,
+        )
+        churn_engine.arm(duration)
 
     mac.start()
     if gmp is not None:
@@ -311,9 +376,9 @@ def run_scenario(
     warm_counts: dict[int, int] = {}
 
     def snapshot() -> None:
-        for flow in flows:
+        for flow_id, flow in all_flows.items():
             sink = stacks[flow.destination]
-            warm_counts[flow.flow_id] = sink.delivered.get(flow.flow_id, 0)
+            warm_counts[flow_id] = sink.delivered.get(flow_id, 0)
 
     sim.call_at(warmup, snapshot, tag="runner.warmup")
 
@@ -324,23 +389,29 @@ def run_scenario(
     interval_rates: dict[int, list[float]] = {}
     interval_bounds: list[float] = []
     if rate_interval is not None:
-        interval_rates = {flow.flow_id: [] for flow in flows}
-        sample_state = {
-            "counts": {flow.flow_id: 0 for flow in flows},
-            "time": 0.0,
-        }
+        interval_rates = {flow_id: [] for flow_id in all_flows}
+        counts: dict[int, int] = {flow_id: 0 for flow_id in all_flows}
+        sample_state = {"time": 0.0}
 
         def sample() -> None:
             now = sim.now
             elapsed = now - sample_state["time"]
             if elapsed <= 0:
                 return
-            for flow in flows:
+            emitted = len(interval_bounds)
+            for flow_id in sorted(all_flows):
+                flow = all_flows[flow_id]
+                series = interval_rates.setdefault(flow_id, [])
+                if len(series) < emitted:
+                    # The flow arrived mid-run: zero-pad the windows
+                    # from before its arrival so every series aligns
+                    # with ``interval_bounds``.
+                    series.extend([0.0] * (emitted - len(series)))
                 sink = stacks[flow.destination]
-                total = sink.delivered.get(flow.flow_id, 0)
-                delta = total - sample_state["counts"][flow.flow_id]
-                sample_state["counts"][flow.flow_id] = total
-                interval_rates[flow.flow_id].append(delta / elapsed)
+                total = sink.delivered.get(flow_id, 0)
+                delta = total - counts.get(flow_id, 0)
+                counts[flow_id] = total
+                series.append(delta / elapsed)
             sample_state["time"] = now
             interval_bounds.append(now)
 
@@ -392,28 +463,57 @@ def run_scenario(
     if trace is not None:
         extras["trace"] = trace
 
-    window = duration - warmup
+    churn_report = churn_engine.finalize() if churn_engine is not None else None
+    lifetimes: dict[int, tuple[float, float]] = (
+        dict(churn_report.lifetimes) if churn_report is not None else {}
+    )
+
     flow_rates: dict[int, float] = {}
     hop_counts: dict[int, int] = {}
     flow_delays: dict[int, float] = {}
     flow_paths: dict[int, list] = {}
-    for flow in flows:
-        flow_paths[flow.flow_id] = list(
+    for flow_id in sorted(all_flows):
+        flow = all_flows[flow_id]
+        flow_paths[flow_id] = list(
             routes.path_links(flow.source, flow.destination)
         )
         sink = stacks[flow.destination]
-        delivered = sink.delivered.get(flow.flow_id, 0) - warm_counts.get(
-            flow.flow_id, 0
-        )
-        flow_rates[flow.flow_id] = delivered / window
-        hop_counts[flow.flow_id] = routes.hop_count(flow.source, flow.destination)
-        total = sink.delivered.get(flow.flow_id, 0)
-        flow_delays[flow.flow_id] = (
-            sink.delay_sum.get(flow.flow_id, 0.0) / total if total else float("nan")
+        total = sink.delivered.get(flow_id, 0)
+        # Static flows measure over [warmup, duration] as always; a
+        # churned flow measures over its own lifetime (no warmup
+        # subtraction once it arrived after warmup, no post-departure
+        # window once it left early).
+        start, end = lifetimes.get(flow_id, (0.0, duration))
+        if start < warmup < end:
+            delivered = total - warm_counts.get(flow_id, 0)
+            window = end - warmup
+        else:
+            delivered = total
+            window = end - start
+        flow_rates[flow_id] = delivered / window if window > 0 else 0.0
+        hop_counts[flow_id] = routes.hop_count(flow.source, flow.destination)
+        flow_delays[flow_id] = (
+            sink.delay_sum.get(flow_id, 0.0) / total if total else float("nan")
         )
     extras["flow_delays"] = flow_delays
     extras["flow_paths"] = flow_paths
-    extras["flow_weights"] = {flow.flow_id: flow.weight for flow in flows}
+    extras["flow_weights"] = {
+        flow_id: flow.weight for flow_id, flow in sorted(all_flows.items())
+    }
+    if churn_report is not None:
+        extras["churn"] = churn_report
+        if rate_interval and interval_rates:
+            arrivals_only = {
+                flow_id: life
+                for flow_id, life in lifetimes.items()
+                if life[0] > 0.0
+            }
+            extras["per_arrival_convergence"] = per_arrival_convergence(
+                interval_rates,
+                rate_interval,
+                lifetimes=arrivals_only,
+                bounds=interval_bounds,
+            )
 
     buffer_drops = sum(stack.buffer.drops for stack in stacks.values())
     mac_drops = sum(stack.mac_drops for stack in stacks.values())
@@ -421,7 +521,7 @@ def run_scenario(
     if gmp is not None:
         extras["rate_limits"] = gmp.rate_limits()
         extras["limit_history"] = {
-            flow.flow_id: gmp.limit_history(flow.flow_id) for flow in flows
+            flow_id: gmp.limit_history(flow_id) for flow_id in sorted(all_flows)
         }
         extras["requests_issued"] = len(gmp.requests_issued)
         extras["violations_found"] = gmp.violations_found
@@ -450,6 +550,9 @@ def run_scenario(
     if check_invariants:
         report.check()
 
+    measured_flows = (
+        FlowSet(list(all_flows.values())) if churn is not None else flows
+    )
     return RunResult(
         scenario=scenario.name,
         protocol=protocol,
@@ -460,13 +563,14 @@ def run_scenario(
         flow_rates=flow_rates,
         hop_counts=hop_counts,
         effective_throughput=effective_network_throughput(
-            flow_rates, flows, routes
+            flow_rates, measured_flows, routes
         ),
         buffer_drops=buffer_drops,
         mac_drops=mac_drops,
         rate_interval=rate_interval,
         interval_rates=interval_rates,
         interval_bounds=interval_bounds,
+        flow_lifetimes=lifetimes,
         extras=extras,
     )
 

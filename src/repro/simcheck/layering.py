@@ -74,6 +74,19 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "topology",
         "routing",
     },
+    "churn": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "mac",
+        "buffers",
+        "stack",
+        "core",
+    },
     "scenarios": {
         "errors",
         "units",
@@ -88,6 +101,7 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "core",
         "baselines",
         "faults",
+        "churn",
         "analysis",
     },
     "fidelity": {
@@ -100,6 +114,24 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "core",
         "analysis",
         "scenarios",
+    },
+    "fuzz": {
+        "errors",
+        "units",
+        "sim",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "mac",
+        "buffers",
+        "stack",
+        "core",
+        "faults",
+        "churn",
+        "analysis",
+        "scenarios",
+        "fidelity",
     },
     "__init__": None,
     "__main__": None,

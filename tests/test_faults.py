@@ -174,12 +174,15 @@ def test_fault_targeting_unknown_node_rejected():
 
 
 def test_control_loss_drops_requests():
-    faults = FaultSchedule([ControlLoss(at=0.0, until=30.0, drop_prob=1.0)])
+    # The window ends off the period grid so its clearing event cannot
+    # race the final period boundary (validate_within caps it at the
+    # run's end).
+    faults = FaultSchedule([ControlLoss(at=0.0, until=10.2, drop_prob=1.0)])
     result = run_scenario(
         figure3(),
         protocol="gmp",
         substrate="fluid",
-        duration=10.0,
+        duration=10.2,
         warmup=1.0,
         gmp_config=FAST,
         faults=faults,
@@ -355,3 +358,61 @@ def test_stack_crash_twice_raises():
     stack.recover()
     with pytest.raises(ProtocolError):
         stack.recover()
+
+
+# --- window-overlap and run-duration validation --------------------------------
+
+
+def test_schedule_rejects_overlapping_control_loss_windows():
+    with pytest.raises(FaultError, match="overlapping control-loss"):
+        FaultSchedule(
+            [
+                ControlLoss(at=10.0, until=20.0, drop_prob=0.5),
+                ControlLoss(at=15.0, until=25.0, drop_prob=0.9),
+            ]
+        )
+
+
+def test_schedule_rejects_overlapping_bursts_on_one_link():
+    # The same physical link in either direction is one target.
+    with pytest.raises(FaultError, match="overlapping loss-burst"):
+        FaultSchedule(
+            [
+                PacketLossBurst(at=5.0, until=12.0, link=(0, 1), loss_rate=0.5),
+                PacketLossBurst(at=10.0, until=15.0, link=(1, 0), loss_rate=0.5),
+            ]
+        )
+
+
+def test_schedule_allows_disjoint_and_cross_target_windows():
+    FaultSchedule(
+        [
+            ControlLoss(at=10.0, until=20.0, drop_prob=0.5),
+            ControlLoss(at=20.0, until=30.0, drop_prob=0.9),  # back-to-back ok
+            PacketLossBurst(at=12.0, until=18.0, link=(0, 1), loss_rate=0.5),
+            PacketLossBurst(at=12.0, until=18.0, link=(1, 2), loss_rate=0.5),
+        ]
+    )
+
+
+def test_validate_within_rejects_late_events():
+    schedule = parse_fault_spec("crash:1@20;recover:1@40")
+    schedule.validate_within(40.0)  # at == duration is allowed
+    with pytest.raises(FaultError, match="beyond the run"):
+        schedule.validate_within(30.0)
+    windowed = parse_fault_spec("ctrl:0.5@10-35")
+    with pytest.raises(FaultError, match="extends past"):
+        windowed.validate_within(30.0)
+
+
+def test_runner_rejects_faults_past_the_run_end():
+    with pytest.raises(FaultError, match="beyond the run"):
+        run_scenario(
+            figure3(),
+            protocol="gmp",
+            substrate="fluid",
+            duration=10.0,
+            seed=1,
+            gmp_config=FAST,
+            faults=parse_fault_spec("crash:1@20;recover:1@40"),
+        )

@@ -20,7 +20,7 @@ from repro.telemetry import Telemetry
 from repro.topology.builders import chain_topology
 
 
-def synthetic_result(duration=40.0, interval_rates=None, extras=None):
+def synthetic_result(duration=40.0, interval_rates=None, extras=None, lifetimes=None):
     interval_rates = interval_rates or {}
     bounds = [float(t) for t in range(1, int(duration) + 1)]
     return RunResult(
@@ -36,6 +36,7 @@ def synthetic_result(duration=40.0, interval_rates=None, extras=None):
         rate_interval=1.0,
         interval_rates=interval_rates,
         interval_bounds=bounds if interval_rates else [],
+        flow_lifetimes=lifetimes or {},
         extras=extras or {},
     )
 
@@ -65,6 +66,62 @@ def test_starved_flow_ignores_flows_that_never_could_deliver():
         extras={"maxmin_reference": {1: 0.0}},
     )
     assert detect_starved_flows(result) == []
+
+
+def test_starved_flow_not_flagged_after_legitimate_departure():
+    # Flow delivers, then departs at t=20: the zero tail is a
+    # departure, not starvation.
+    rates = [40.0] * 20 + [0.0] * 20
+    lifetimes = {1: (0.0, 20.0)}
+    result = synthetic_result(
+        interval_rates={1: rates},
+        extras={"maxmin_reference": {1: 40.0}},
+        lifetimes=lifetimes,
+    )
+    assert detect_starved_flows(result) == []
+    # Control: without the lifetime the same series is a finding.
+    unaware = synthetic_result(
+        interval_rates={1: rates},
+        extras={"maxmin_reference": {1: 40.0}},
+    )
+    assert len(detect_starved_flows(unaware)) == 1
+
+
+def test_starved_flow_still_flagged_inside_its_lifetime():
+    # Silence strictly inside the lifetime window is real starvation.
+    rates = [0.0] * 8 + [40.0] * 6 + [0.0] * 12 + [40.0] * 8 + [0.0] * 6
+    result = synthetic_result(
+        interval_rates={1: rates},
+        extras={"maxmin_reference": {1: 40.0}},
+        lifetimes={1: (8.0, 34.0)},
+    )
+    findings = detect_starved_flows(result)
+    assert len(findings) == 1
+    assert findings[0].start == pytest.approx(14.0)
+    assert findings[0].end == pytest.approx(26.0)
+
+
+def test_late_arrival_gets_its_own_settle_grace():
+    # A flow arriving at t=25 on a 40 s run: the run's warmup ended at
+    # 10 s, but the flow's own grace runs to arrival + window (30 s),
+    # so its start-up zeros are not findings.
+    rates = [0.0] * 25 + [0.0] * 4 + [40.0] * 11
+    result = synthetic_result(
+        interval_rates={1: rates},
+        extras={"maxmin_reference": {1: 40.0}},
+        lifetimes={1: (25.0, 40.0)},
+    )
+    assert detect_starved_flows(result) == []
+
+
+def test_oscillation_scan_is_lifetime_gated():
+    # The departure edge (full rate -> 0) must not read as oscillation.
+    rates = [100.0] * 30 + [0.0] * 10
+    result = synthetic_result(
+        interval_rates={1: rates},
+        lifetimes={1: (0.0, 30.0)},
+    )
+    assert detect_rate_oscillation(result) == []
 
 
 def test_starved_flow_ignores_short_dips():

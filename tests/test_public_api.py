@@ -34,8 +34,10 @@ def test_subpackage_docstrings_exist():
     import repro.analysis
     import repro.baselines
     import repro.buffers
+    import repro.churn
     import repro.core
     import repro.fidelity
+    import repro.fuzz
     import repro.flows
     import repro.mac
     import repro.routing
@@ -48,8 +50,10 @@ def test_subpackage_docstrings_exist():
         repro.analysis,
         repro.baselines,
         repro.buffers,
+        repro.churn,
         repro.core,
         repro.fidelity,
+        repro.fuzz,
         repro.flows,
         repro.mac,
         repro.routing,
@@ -58,3 +62,12 @@ def test_subpackage_docstrings_exist():
         repro.topology,
     ):
         assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_churn_and_fuzz_exports():
+    import repro.churn
+    import repro.fuzz
+
+    for module in (repro.churn, repro.fuzz):
+        for name in module.__all__:
+            assert hasattr(module, name), name
