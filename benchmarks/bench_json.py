@@ -8,9 +8,14 @@ per-benchmark speedups the PR claims.
 
 Usage::
 
-    python benchmarks/bench_json.py --out BENCH_4.json
-    python benchmarks/bench_json.py --out BENCH_4.json \
+    python benchmarks/bench_json.py --out BENCH_7.json --pr 7
+    python benchmarks/bench_json.py --out BENCH_7.json --pr 7 \
         --pre /tmp/bench_pre.json --skip-sweep
+
+Schema v2 adds ``schema_version``, the ``pr`` number (so trend tooling
+does not have to parse it out of the filename), and a per-benchmark
+``p95_s``.  Consumers must tolerate v1 artifacts, which carry none of
+those fields.
 
 The committed ``benchmarks/bench-baseline.json`` is the ``benchmarks``
 section of this script's output on the current revision; CI re-runs
@@ -59,11 +64,19 @@ def parse_benchmark_json(path: pathlib.Path) -> dict[str, dict[str, float]]:
     results: dict[str, dict[str, float]] = {}
     for bench in payload.get("benchmarks", []):
         stats = bench["stats"]
-        results[bench["name"]] = {
+        entry = {
             "mean_s": stats["mean"],
             "min_s": stats["min"],
             "rounds": stats["rounds"],
         }
+        # Raw round timings live under stats.data; pytest-benchmark
+        # omits them in some configurations, so the p95 is best-effort.
+        data = stats.get("data") or []
+        if data:
+            ordered = sorted(data)
+            rank = max(0, min(len(ordered) - 1, round(0.95 * (len(ordered) - 1))))
+            entry["p95_s"] = ordered[rank]
+        results[bench["name"]] = entry
     return results
 
 
@@ -124,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         help="pytest-benchmark JSON captured on the pre-change revision; "
         "adds a pre_pr section and per-benchmark speedups",
     )
+    parser.add_argument(
+        "--pr",
+        type=int,
+        default=None,
+        help="PR number stamped into the artifact (trend tooling key)",
+    )
     parser.add_argument("--min-rounds", type=int, default=5)
     parser.add_argument("--skip-sweep", action="store_true")
     parser.add_argument("--sweep-duration", type=float, default=120.0)
@@ -131,9 +150,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     artifact: dict = {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
+        "schema_version": 2,
         "benchmarks": run_pytest_benchmarks(args.min_rounds),
     }
+    if args.pr is not None:
+        artifact["pr"] = args.pr
     if args.pre:
         pre = parse_benchmark_json(pathlib.Path(args.pre))
         artifact["pre_pr"] = pre

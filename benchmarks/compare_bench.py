@@ -55,12 +55,19 @@ def main(argv: list[str] | None = None) -> int:
         if name not in fresh:
             failures.append(f"{name}: missing from fresh run")
             continue
-        allowed = stats["mean_s"] * args.threshold
-        measured = fresh[name]["mean_s"]
+        # Artifacts from other schema versions may lack mean_s (or carry
+        # extra fields like p95_s); skip what cannot be compared instead
+        # of crashing on a vocabulary difference.
+        baseline_mean = stats.get("mean_s")
+        measured = fresh[name].get("mean_s")
+        if baseline_mean is None or measured is None:
+            print(f"{name}: no mean_s on both sides, skipped")
+            continue
+        allowed = baseline_mean * args.threshold
         verdict = "ok" if measured <= allowed else "REGRESSED"
         print(
             f"{name}: {measured * 1e3:.2f} ms "
-            f"(baseline {stats['mean_s'] * 1e3:.2f} ms, "
+            f"(baseline {baseline_mean * 1e3:.2f} ms, "
             f"allowed {allowed * 1e3:.2f} ms) {verdict}"
         )
         if measured > allowed:
@@ -69,7 +76,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.threshold:g}x baseline ({allowed * 1e3:.2f} ms)"
             )
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"{name}: {fresh[name]['mean_s'] * 1e3:.2f} ms (no baseline)")
+        extra_mean = fresh[name].get("mean_s")
+        if extra_mean is not None:
+            print(f"{name}: {extra_mean * 1e3:.2f} ms (no baseline)")
 
     if failures:
         print("\nperf regression check FAILED:", file=sys.stderr)

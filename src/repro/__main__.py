@@ -22,6 +22,12 @@ Examples::
     python -m repro figure3 --substrate fluid \
         --churn "poisson:rate=0.3,mean_hold=6,hold=pareto" --duration 60
     python -m repro fuzz --budget 60 --seed 1
+    python -m repro figure3 --substrate fluid \
+        --stream-out live.jsonl --stream-db live.db
+    python -m repro figure3 --substrate fluid --duration 60 \
+        --churn "poisson:rate=0.3,mean_hold=6" \
+        --health --alerts-out alerts.jsonl
+    python -m repro perftrend BENCH_4.json BENCH_7.json --out trend.md
 
 Fault specs (``--faults``) are semicolon-separated events; see
 :mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
@@ -33,6 +39,13 @@ persists it).  ``fidelity`` regenerates the paper's Tables 1-4 and
 checks every EXPERIMENTS.md shape assertion (:mod:`repro.fidelity`);
 ``explain`` attributes each flow's rate to its bottleneck clique,
 active local condition, and centralized-reference gap.
+
+``--stream-out`` / ``--stream-db`` stream telemetry to disk *during*
+the run (:mod:`repro.obs`), so a killed or watchdog-aborted run keeps
+its metrics; ``--health`` arms the in-run health monitor whose alerts
+print as they fire (``--alerts-out`` also appends them as JSON lines);
+``perftrend`` renders the accumulated ``BENCH_*.json`` history as a
+per-PR trend report.
 """
 
 from __future__ import annotations
@@ -94,6 +107,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "perftrend":
+        from repro.obs.perftrend import perftrend_main
+
+        return perftrend_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario", choices=("figure1", "figure2", "figure3", "figure4")
@@ -190,10 +207,61 @@ def main(argv: list[str] | None = None) -> int:
         "diff the event digests (exit 1 and name the first divergent "
         "event on mismatch)",
     )
+    parser.add_argument(
+        "--stream-out",
+        default=None,
+        metavar="PATH",
+        help="stream telemetry records to a JSONL file *while the run "
+        "is in flight* (implies telemetry); a killed run keeps "
+        "everything flushed so far",
+    )
+    parser.add_argument(
+        "--stream-db",
+        default=None,
+        metavar="PATH",
+        help="stream telemetry records into a SQLite database "
+        "(append-safe across runs; implies telemetry)",
+    )
+    parser.add_argument(
+        "--stream-interval",
+        type=float,
+        default=1.0,
+        help="simulated seconds between streaming flushes "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="arm the in-run health monitor: liveness probes plus the "
+        "anomaly detectors over sliding windows, alerts printed as "
+        "they fire (implies telemetry)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="simulated seconds between health evaluations "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--alerts-out",
+        default=None,
+        metavar="PATH",
+        help="append every delivered health alert as a JSON line to "
+        "PATH (implies --health)",
+    )
     args = parser.parse_args(argv)
 
+    if args.alerts_out:
+        args.health = True
+    streaming = bool(args.stream_out or args.stream_db)
     telemetry_on = bool(
-        args.metrics_out or args.trace_out or args.profile or args.inspect_out
+        args.metrics_out
+        or args.trace_out
+        or args.profile
+        or args.inspect_out
+        or streaming
+        or args.health
     )
     telemetry = (
         Telemetry(enabled=True, profile=args.profile) if telemetry_on else None
@@ -211,10 +279,41 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "error: --sanitize replay runs the scenario twice and cannot "
             "share one telemetry/trace collector across runs; drop "
-            "--metrics-out/--trace-out/--profile/--trace-categories",
+            "--metrics-out/--trace-out/--profile/--trace-categories/"
+            "--stream-out/--stream-db/--health/--alerts-out",
             file=sys.stderr,
         )
         return 2
+
+    stream = None
+    health = None
+    if streaming:
+        from repro.obs import JsonlSink, SqliteSink, StreamPublisher
+
+        sinks = []
+        if args.stream_out:
+            sinks.append(JsonlSink(args.stream_out))
+        if args.stream_db:
+            sinks.append(SqliteSink(args.stream_db))
+        assert telemetry is not None
+        stream = StreamPublisher(
+            telemetry, sinks, interval=args.stream_interval
+        )
+    if args.health:
+        from repro.obs import (
+            HealthConfig,
+            HealthMonitor,
+            console_delivery,
+            jsonl_delivery,
+        )
+
+        deliveries = [console_delivery()]
+        if args.alerts_out:
+            deliveries.append(jsonl_delivery(args.alerts_out))
+        health = HealthMonitor(
+            HealthConfig(interval=args.health_interval),
+            deliveries=deliveries,
+        )
 
     replay_report = None
     try:
@@ -239,10 +338,21 @@ def main(argv: list[str] | None = None) -> int:
             replay_report, result, _ = replay_check(scenario, **kwargs)
         else:
             result = run_scenario(
-                scenario, telemetry=telemetry, trace=trace, **kwargs
+                scenario,
+                telemetry=telemetry,
+                trace=trace,
+                stream=stream,
+                health=health,
+                **kwargs,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        if stream is not None and stream.aborted:
+            print(
+                "partial telemetry flushed to the streaming sink(s) "
+                "before the abort",
+                file=sys.stderr,
+            )
         return 2
 
     print(result.summary_table())
@@ -305,6 +415,18 @@ def main(argv: list[str] | None = None) -> int:
         if trace.dropped:
             note += f" ({trace.dropped} dropped at the limit)"
         print(note)
+    if stream is not None:
+        targets = ", ".join(
+            path for path in (args.stream_out, args.stream_db) if path
+        )
+        print(
+            f"stream: {stream.records_streamed} records in "
+            f"{stream.flushes} flushes -> {targets}"
+        )
+    if health is not None:
+        print(health.log.render())
+        if args.alerts_out and health.alerts():
+            print(f"delivered alerts -> {args.alerts_out}")
     if replay_report is not None:
         print()
         print(replay_report.render())

@@ -187,6 +187,16 @@ class ChurnEngine:
 
     # --- reporting --------------------------------------------------------------
 
+    def live_lifetimes(self) -> dict[int, tuple[float, float]]:
+        """Per-flow (arrival, departure) windows *as of now* — flows
+        still alive report their armed duration as the end.  Read-only
+        mid-run view for in-flight health checks; the authoritative
+        end-of-run map is in :meth:`finalize`'s report."""
+        return {
+            flow_id: (start, end)
+            for flow_id, (start, end) in sorted(self._lifetimes.items())
+        }
+
     def finalize(self) -> ChurnReport:
         """Summarize the run (call after ``sim.run`` returns)."""
         return ChurnReport(

@@ -1,0 +1,62 @@
+"""Live observability plane: streaming sinks, in-run health, trends.
+
+``repro.obs`` sits *above* the simulation stack (scenarios, fidelity)
+and watches runs from the outside:
+
+* :mod:`repro.obs.sinks` — pluggable :class:`TelemetrySink` backends
+  (JSONL append, bounded in-memory ring, SQLite) that receive telemetry
+  records incrementally while a run is in flight;
+* :mod:`repro.obs.stream` — the :class:`StreamPublisher`, a kernel
+  :class:`~repro.sim.kernel.RunMonitor` that flushes new series points
+  and events to the sinks on a simulated-clock cadence, snapshots
+  everything on close, and dumps partial state (plus the replay-journal
+  tail) when a watchdog aborts the run — so a killed or wedged run
+  still leaves analyzable telemetry behind;
+* :mod:`repro.obs.health` — the in-run :class:`HealthMonitor`:
+  liveness probes plus the :mod:`repro.fidelity.anomaly` detectors
+  evaluated over sliding windows mid-run, emitting deduplicated,
+  cooldown-gated :class:`Alert` records through pluggable delivery
+  hooks;
+* :mod:`repro.obs.perftrend` — the fleet-style trend reporter that
+  ingests every ``BENCH_*.json`` artifact plus the fidelity baseline
+  and renders per-metric, per-PR trajectories.
+
+Everything here is strictly passive: monitors are ticked by the kernel
+*between* event dispatches, never via scheduled events, so enabling
+the full observability plane leaves the dispatched event sequence —
+and the replay digest — bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.obs.health import (
+    Alert,
+    AlertLog,
+    HealthConfig,
+    HealthMonitor,
+    console_delivery,
+    jsonl_delivery,
+    webhook_delivery,
+)
+from repro.obs.perftrend import TrendReport, load_trend, render_trend
+from repro.obs.sinks import JsonlSink, RingSink, SqliteSink, TelemetrySink
+from repro.obs.stream import StreamPublisher, reconstruct_jsonl
+
+__all__ = [
+    "Alert",
+    "AlertLog",
+    "HealthConfig",
+    "HealthMonitor",
+    "JsonlSink",
+    "RingSink",
+    "SqliteSink",
+    "StreamPublisher",
+    "TelemetrySink",
+    "TrendReport",
+    "console_delivery",
+    "jsonl_delivery",
+    "load_trend",
+    "reconstruct_jsonl",
+    "render_trend",
+    "webhook_delivery",
+]

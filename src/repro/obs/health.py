@@ -1,0 +1,484 @@
+"""In-run health monitoring with deduplicated, cooldown-gated alerts.
+
+The :class:`HealthMonitor` is a kernel
+:class:`~repro.sim.kernel.RunMonitor`: the simulator ticks it between
+event dispatches on a simulated-clock cadence, and on each tick it
+evaluates two families of checks over sliding windows of the live run:
+
+* **liveness probes** computed directly from kernel counters and
+  telemetry tails — event-rate stall (the run went quiet relative to
+  its own history), queue growth (an occupancy climbing monotonically
+  through the window), and GMP condition flap (a virtual link toggling
+  saturation conditions rapidly *right now*);
+* the **end-of-run anomaly detectors** of :mod:`repro.fidelity.anomaly`
+  (starved flows, rate oscillation, condition flapping, queue
+  divergence), run mid-flight over a *partial*
+  :class:`~repro.scenarios.results.RunResult` snapshot supplied by the
+  scenario runner.
+
+Findings become :class:`Alert` records in an :class:`AlertLog`, which
+deduplicates by (probe, labels), tracks first/last-seen times and a
+repeat count, and re-delivers a persisting alert only after a cooldown.
+Delivery is pluggable: :func:`console_delivery`,
+:func:`jsonl_delivery`, and the :func:`webhook_delivery` stub ship with
+the module; anything callable with one :class:`Alert` works.
+
+Everything here observes only — no events are scheduled, no randomness
+drawn — so a monitored run dispatches the identical event sequence and
+replay digest as an unmonitored one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.fidelity.anomaly import (
+    DEFAULT_CONFIG,
+    AnomalyConfig,
+    detect_condition_flapping,
+    detect_queue_divergence,
+    detect_rate_oscillation,
+    detect_starved_flows,
+)
+from repro.scenarios.results import RunResult
+
+#: The anomaly detectors the monitor can run mid-flight, by name.
+ANOMALY_DETECTORS = {
+    "starved_flow": detect_starved_flows,
+    "rate_oscillation": detect_rate_oscillation,
+    "condition_flapping": detect_condition_flapping,
+    "queue_divergence": detect_queue_divergence,
+}
+
+#: Detectors evaluated by default.  ``rate_oscillation`` is opt-in:
+#: scanned mid-run it sees convergence transients (and churn-induced
+#: reallocations) that the end-of-run scan legitimately excludes.
+DEFAULT_DETECTORS = ("starved_flow", "condition_flapping", "queue_divergence")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Monitor cadence, probe thresholds, and alert gating
+    (times in simulated seconds)."""
+
+    #: Evaluation cadence.
+    interval: float = 1.0
+    #: Sliding-window width for the liveness probes.
+    window: float = 5.0
+    #: No checks before this time: start-up is legitimately weird.
+    grace: float = 10.0
+    #: Minimum gap before a persisting alert is re-delivered.
+    cooldown: float = 10.0
+    #: Window event rate below this fraction of the pre-window mean
+    #: rate counts as a stall.
+    stall_fraction: float = 0.25
+    #: Net in-window queue growth (packets, never dipping below the
+    #: window's opening value) that counts as runaway growth.
+    queue_growth: float = 25.0
+    #: Condition changes of one virtual link within the window that
+    #: count as live flapping.
+    flap_window_count: int = 8
+    #: Which :data:`ANOMALY_DETECTORS` to run mid-flight.
+    detectors: tuple[str, ...] = DEFAULT_DETECTORS
+    #: Thresholds for those detectors.
+    anomaly: AnomalyConfig = DEFAULT_CONFIG
+
+
+@dataclass
+class Alert:
+    """One deduplicated health condition."""
+
+    probe: str
+    severity: str  # "warning" | "critical"
+    labels: dict[str, str]
+    message: str
+    first_seen: float
+    last_seen: float
+    count: int = 1
+    deliveries: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "probe": self.probe,
+            "severity": self.severity,
+            "labels": dict(self.labels),
+            "message": self.message,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "count": self.count,
+        }
+
+    def render(self) -> str:
+        tags = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        seen = (
+            f"t={self.first_seen:.1f}s"
+            if self.count == 1
+            else f"t={self.first_seen:.1f}–{self.last_seen:.1f}s x{self.count}"
+        )
+        return f"[{self.severity}] {self.probe} {seen} {{{tags}}}: {self.message}"
+
+
+AlertKey = tuple[str, tuple[tuple[str, str], ...]]
+Delivery = Callable[[Alert], None]
+
+
+class AlertLog:
+    """Deduplicating, cooldown-gated alert store.
+
+    The first occurrence of a (probe, labels) condition is delivered
+    immediately; while it persists, the stored alert's ``last_seen``
+    and ``count`` advance but delivery repeats only every ``cooldown``
+    simulated seconds — a flapping probe cannot flood the hooks.
+    """
+
+    def __init__(
+        self,
+        *,
+        deliveries: tuple[Delivery, ...] | list[Delivery] = (),
+        cooldown: float = 10.0,
+    ) -> None:
+        self.deliveries = list(deliveries)
+        self.cooldown = cooldown
+        self._alerts: dict[AlertKey, Alert] = {}
+        self._last_delivered: dict[AlertKey, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    def raise_alert(
+        self,
+        now: float,
+        probe: str,
+        severity: str,
+        labels: dict[str, str],
+        message: str,
+    ) -> Alert:
+        """Record one observation of a condition; deliver if due."""
+        key: AlertKey = (probe, tuple(sorted(labels.items())))
+        alert = self._alerts.get(key)
+        if alert is None:
+            alert = Alert(
+                probe=probe,
+                severity=severity,
+                labels=dict(labels),
+                message=message,
+                first_seen=now,
+                last_seen=now,
+            )
+            self._alerts[key] = alert
+            self._deliver(key, alert, now)
+            return alert
+        alert.last_seen = now
+        alert.count += 1
+        alert.message = message
+        if severity == "critical":
+            alert.severity = "critical"
+        if now - self._last_delivered.get(key, float("-inf")) >= self.cooldown:
+            self._deliver(key, alert, now)
+        return alert
+
+    def _deliver(self, key: AlertKey, alert: Alert, now: float) -> None:
+        self._last_delivered[key] = now
+        alert.deliveries += 1
+        for hook in self.deliveries:
+            hook(alert)
+
+    def alerts(self) -> list[Alert]:
+        """Every deduplicated alert, ordered by first occurrence."""
+        return sorted(
+            self._alerts.values(), key=lambda a: (a.first_seen, a.probe)
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {"alerts": [alert.to_json() for alert in self.alerts()]}
+
+    def render(self) -> str:
+        alerts = self.alerts()
+        if not alerts:
+            return "health: clean (no alerts)"
+        lines = [f"health: {len(alerts)} alert(s)"]
+        lines.extend(f"  {alert.render()}" for alert in alerts)
+        return "\n".join(lines)
+
+
+# --- delivery hooks --------------------------------------------------------------
+
+
+def console_delivery(write: Callable[[str], None] = print) -> Delivery:
+    """Deliver alerts as rendered lines (default: ``print``)."""
+
+    def deliver(alert: Alert) -> None:
+        write(f"health alert {alert.render()}")
+
+    return deliver
+
+
+def jsonl_delivery(path: str) -> Delivery:
+    """Append one JSON line per delivery to ``path``.
+
+    Opens per delivery (alerts are rare by design), so every delivered
+    alert is durable immediately — even if the run is later killed.
+    """
+
+    def deliver(alert: Alert) -> None:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(alert.to_json()) + "\n")
+
+    return deliver
+
+
+class webhook_delivery:
+    """Webhook delivery stub.
+
+    Real HTTP is out of scope for a deterministic simulator (and for
+    this container), so the default ``post`` just collects
+    ``(url, payload)`` pairs in :attr:`sent`; production use passes a
+    ``post(url, payload)`` callable that does the actual request.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        post: Callable[[str, dict[str, Any]], None] | None = None,
+    ) -> None:
+        self.url = url
+        self.post = post
+        self.sent: list[tuple[str, dict[str, Any]]] = []
+
+    def __call__(self, alert: Alert) -> None:
+        payload = alert.to_json()
+        self.sent.append((self.url, payload))
+        if self.post is not None:
+            self.post(self.url, payload)
+
+
+# --- the monitor -----------------------------------------------------------------
+
+
+class HealthMonitor:
+    """Periodic in-run health evaluator (a kernel run monitor).
+
+    Args:
+        config: cadence, thresholds, detector selection.
+        deliveries: alert delivery hooks.
+        log: an existing :class:`AlertLog` to share (default: fresh).
+    """
+
+    def __init__(
+        self,
+        config: HealthConfig | None = None,
+        *,
+        deliveries: tuple[Delivery, ...] | list[Delivery] = (),
+        log: AlertLog | None = None,
+    ) -> None:
+        self.config = config or HealthConfig()
+        if self.config.interval <= 0:
+            raise ConfigError(
+                f"health interval must be positive: {self.config.interval}"
+            )
+        unknown = set(self.config.detectors) - set(ANOMALY_DETECTORS)
+        if unknown:
+            raise ConfigError(
+                f"unknown health detectors {sorted(unknown)}; "
+                f"pick from {sorted(ANOMALY_DETECTORS)}"
+            )
+        self.log = log or AlertLog(
+            deliveries=deliveries, cooldown=self.config.cooldown
+        )
+        self._sim: Any = None
+        self._snapshot: Callable[[], RunResult] | None = None
+        # (sim time, kernel events processed) history for the stall probe.
+        self._event_history: list[tuple[float, int]] = []
+        # Cursor into telemetry.events for the live flap probe.
+        self._event_cursor = 0
+        self._condition_times: dict[tuple[str, str], list[float]] = {}
+        self.ticks = 0
+
+    @property
+    def interval(self) -> float:
+        return self.config.interval
+
+    def bind(self, sim: Any, snapshot: Callable[[], RunResult]) -> None:
+        """Attach to a simulator; ``snapshot`` builds the partial
+        :class:`RunResult` the anomaly detectors scan mid-flight."""
+        self._sim = sim
+        self._snapshot = snapshot
+        sim.attach_monitor(self)
+
+    def alerts(self) -> list[Alert]:
+        return self.log.alerts()
+
+    # --- RunMonitor hooks --------------------------------------------------
+
+    def on_tick(self, now: float) -> None:
+        self.ticks += 1
+        if self._sim is not None:
+            self._event_history.append((now, self._sim.events_processed))
+        if now < self.config.grace:
+            return
+        self._probe_event_rate(now)
+        self._probe_queue_growth(now)
+        self._probe_condition_flap(now)
+        self._run_detectors(now)
+
+    def on_abort(self, now: float, error: BaseException) -> None:
+        """A kernel watchdog tripped: record it as a critical alert so
+        every delivery hook sees the death certificate."""
+        self.log.raise_alert(
+            now, "watchdog_abort", "critical", {}, f"run aborted: {error}"
+        )
+
+    def finalize(self, now: float) -> AlertLog:
+        """One last evaluation at the end of the run; returns the log."""
+        self.on_tick(now)
+        return self.log
+
+    # --- liveness probes ---------------------------------------------------
+
+    def _probe_event_rate(self, now: float) -> None:
+        """The run went quiet: window event rate far below the mean
+        rate of everything before the window."""
+        window = self.config.window
+        history = self._event_history
+        if not history or now - history[0][0] < window:
+            return
+        anchor = history[0]
+        for sample in history:
+            if sample[0] <= now - window:
+                anchor = sample
+            else:
+                break
+        anchor_time, anchor_events = anchor
+        if anchor_time <= 0:
+            return
+        baseline = anchor_events / anchor_time
+        if baseline <= 0:
+            return
+        current = self._sim.events_processed if self._sim is not None else 0
+        span = now - anchor_time
+        if span <= 0:
+            return
+        window_rate = (current - anchor_events) / span
+        if window_rate < self.config.stall_fraction * baseline:
+            self.log.raise_alert(
+                now,
+                "event_rate_stall",
+                "critical",
+                {},
+                (
+                    f"event rate fell to {window_rate:.0f}/s over the last "
+                    f"{span:.1f}s (baseline {baseline:.0f}/s)"
+                ),
+            )
+
+    def _telemetry(self) -> Any:
+        return getattr(self._sim, "telemetry", None)
+
+    def _probe_queue_growth(self, now: float) -> None:
+        """A queue occupancy climbing through the whole window."""
+        telemetry = self._telemetry()
+        if telemetry is None or not telemetry.enabled:
+            return
+        window_start = now - self.config.window
+        for instrument in telemetry.registry.instruments("buffer.queue_len"):
+            times = getattr(instrument, "times", None)
+            values = getattr(instrument, "values", None)
+            if not times:
+                continue
+            # Walk the tail backwards: series are time-ordered.
+            tail: list[float] = []
+            for index in range(len(times) - 1, -1, -1):
+                if times[index] < window_start:
+                    break
+                tail.append(values[index])
+            if len(tail) < 3:
+                continue
+            tail.reverse()
+            first = tail[0]
+            if min(tail) < first or tail[-1] - first < self.config.queue_growth:
+                continue
+            node = str(instrument.labels.get("node"))
+            dest = str(instrument.labels.get("dest"))
+            self.log.raise_alert(
+                now,
+                "queue_growth",
+                "warning",
+                {"node": node, "dest": dest},
+                (
+                    f"queue at node {node} (dest {dest}) grew from "
+                    f"{first:.0f} to {tail[-1]:.0f} packets within "
+                    f"{self.config.window:g}s without receding"
+                ),
+            )
+
+    def _probe_condition_flap(self, now: float) -> None:
+        """A virtual link toggling saturation conditions rapidly in
+        the current window (the live sibling of the end-of-run
+        ``condition_flapping`` detector)."""
+        telemetry = self._telemetry()
+        if telemetry is None or not telemetry.enabled:
+            return
+        events = telemetry.events
+        for index in range(self._event_cursor, len(events)):
+            event = events[index]
+            if event.category == "gmp.condition_change":
+                key = (
+                    str(event.fields.get("link")),
+                    str(event.fields.get("dest")),
+                )
+                self._condition_times.setdefault(key, []).append(event.time)
+        self._event_cursor = len(events)
+        window_start = now - self.config.window
+        for (link, dest), times in sorted(self._condition_times.items()):
+            while times and times[0] < window_start:
+                times.pop(0)
+            if len(times) >= self.config.flap_window_count:
+                self.log.raise_alert(
+                    now,
+                    "condition_flap",
+                    "warning",
+                    {"link": link, "dest": dest},
+                    (
+                        f"virtual link {link} (dest {dest}) changed "
+                        f"condition {len(times)} times in the last "
+                        f"{self.config.window:g}s"
+                    ),
+                )
+
+    # --- mid-run anomaly detectors -----------------------------------------
+
+    def _run_detectors(self, now: float) -> None:
+        if self._snapshot is None or not self.config.detectors:
+            return
+        result = self._snapshot()
+        config = self.config.anomaly
+        planned = result.duration
+        if now < planned - 1e-9:
+            # Mid-run: scan only what has actually happened.  The
+            # absolute warmup cutoff and tail start stay where the
+            # end-of-run scan will put them (planned duration), but the
+            # scan end is clamped to ``now`` — otherwise the windowed
+            # detectors read half-filled windows whose provisional
+            # means flag jumps that evaporate once the window fills.
+            warmup_end = planned * config.warmup_fraction
+            if now <= warmup_end + config.window:
+                return
+            tail_start = planned * (1.0 - config.tail_fraction)
+            config = replace(
+                config,
+                warmup_fraction=min(warmup_end / now, 1.0),
+                tail_fraction=max(0.0, min(1.0, 1.0 - tail_start / now)),
+            )
+            result = replace(result, duration=now)
+        for name in self.config.detectors:
+            for finding in ANOMALY_DETECTORS[name](result, config):
+                self.log.raise_alert(
+                    now,
+                    finding.detector,
+                    finding.severity,
+                    finding.labels,
+                    finding.message,
+                )

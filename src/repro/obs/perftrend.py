@@ -1,0 +1,333 @@
+"""Fleet-style performance/fidelity trend reporting.
+
+Every PR ships a ``BENCH_<n>.json`` artifact
+(:mod:`benchmarks.bench_json`); each one is a point-in-time snapshot,
+but the repository accumulates them, and the question CI actually
+wants answered is a *trajectory*: is the kernel getting faster PR over
+PR, did a speedup claimed three PRs ago survive, is the fidelity
+pass-rate stable?
+
+``python -m repro perftrend`` ingests the whole artifact history plus
+the committed fidelity baseline and renders per-metric, per-PR tables:
+
+* benchmark means (ms) per PR, with the ratio of the newest to the
+  oldest measurement (>1 = faster now);
+* claimed same-PR speedups, where artifacts carry a ``pre_pr``
+  section;
+* sweep-engine figures (cached-rerun speedup, cache hit rate);
+* the fidelity shape pass/skip/fail counts of the committed baseline.
+
+Output is markdown (for CI job summaries) or JSON (for machines).
+Wall-clock numbers from different machines are not comparable — the
+report shows trajectories, it does not gate; gating stays with
+``benchmarks/compare_bench.py`` and its committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+_BENCH_NAME = re.compile(r"BENCH_(\d+)\.json$")
+
+#: Sweep-demo figures worth trending (label: artifact key).
+_SWEEP_FIGURES = (
+    ("cached rerun speedup", "cached_rerun_speedup"),
+    ("cache hit rate", "cache_hit_rate"),
+    ("2-worker speedup", "two_worker_speedup"),
+)
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One artifact: a PR's benchmark snapshot."""
+
+    label: str  # "PR 4"
+    order: int  # sort key (the PR number)
+    path: str
+    benchmarks: dict[str, dict[str, float]]
+    speedups: dict[str, float] = field(default_factory=dict)
+    sweep: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrendReport:
+    """The assembled history, oldest PR first."""
+
+    points: list[BenchPoint]
+    fidelity: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> list[str]:
+        """Every benchmark name seen in any artifact, sorted."""
+        names: set[str] = set()
+        for point in self.points:
+            names.update(point.benchmarks)
+        return sorted(names)
+
+
+def _artifact_order(path: pathlib.Path, payload: dict[str, Any]) -> int:
+    """PR number of an artifact: the ``pr`` field (schema 2), else the
+    number in the ``BENCH_<n>.json`` filename."""
+    pr = payload.get("pr")
+    if isinstance(pr, int):
+        return pr
+    match = _BENCH_NAME.search(path.name)
+    if match:
+        return int(match.group(1))
+    raise ConfigError(
+        f"cannot order {path}: no 'pr' field and no BENCH_<n>.json name"
+    )
+
+
+def load_trend(
+    bench_paths: list[str],
+    *,
+    fidelity_path: str | None = None,
+) -> TrendReport:
+    """Load artifacts (any schema version) into a :class:`TrendReport`."""
+    points: list[BenchPoint] = []
+    for raw in bench_paths:
+        path = pathlib.Path(raw)
+        with path.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+        benchmarks = payload.get("benchmarks")
+        if not isinstance(benchmarks, dict):
+            raise ConfigError(f"{path} has no 'benchmarks' mapping")
+        order = _artifact_order(path, payload)
+        points.append(
+            BenchPoint(
+                label=f"PR {order}",
+                order=order,
+                path=str(path),
+                benchmarks=benchmarks,
+                speedups=dict(payload.get("speedups", {})),
+                sweep=dict(payload.get("sweep", {})),
+            )
+        )
+    points.sort(key=lambda p: (p.order, p.path))
+    fidelity: dict[str, Any] = {}
+    if fidelity_path is not None:
+        fidelity_file = pathlib.Path(fidelity_path)
+        if fidelity_file.exists():
+            with fidelity_file.open(encoding="utf-8") as handle:
+                fidelity = json.load(handle)
+    return TrendReport(points=points, fidelity=fidelity)
+
+
+def _mean_ms(point: BenchPoint, metric: str) -> float | None:
+    stats = point.benchmarks.get(metric)
+    if not stats:
+        return None
+    mean = stats.get("mean_s")
+    return mean * 1e3 if isinstance(mean, (int, float)) else None
+
+
+def _p95_ms(point: BenchPoint, metric: str) -> float | None:
+    stats = point.benchmarks.get(metric)
+    if not stats:
+        return None
+    p95 = stats.get("p95_s")
+    return p95 * 1e3 if isinstance(p95, (int, float)) else None
+
+
+def _fidelity_counts(fidelity: dict[str, Any]) -> dict[str, int]:
+    counts = {"pass": 0, "skip": 0, "fail": 0}
+    for verdict in fidelity.get("shapes", {}).values():
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return counts
+
+
+def trend_json(report: TrendReport) -> dict[str, Any]:
+    """Machine-readable trend payload."""
+    metrics: dict[str, Any] = {}
+    for metric in report.metrics:
+        series = []
+        for point in report.points:
+            entry: dict[str, Any] = {"pr": point.order}
+            mean = _mean_ms(point, metric)
+            if mean is not None:
+                entry["mean_ms"] = mean
+            p95 = _p95_ms(point, metric)
+            if p95 is not None:
+                entry["p95_ms"] = p95
+            speedup = point.speedups.get(metric)
+            if speedup is not None:
+                entry["claimed_speedup"] = speedup
+            series.append(entry)
+        measured = [e["mean_ms"] for e in series if "mean_ms" in e]
+        metrics[metric] = {
+            "series": series,
+            "trend_ratio": (
+                measured[0] / measured[-1]
+                if len(measured) >= 2 and measured[-1] > 0
+                else None
+            ),
+        }
+    payload: dict[str, Any] = {
+        "schema": "repro-perftrend/1",
+        "artifacts": [point.path for point in report.points],
+        "metrics": metrics,
+    }
+    sweep = {
+        point.label: point.sweep for point in report.points if point.sweep
+    }
+    if sweep:
+        payload["sweep"] = sweep
+    if report.fidelity:
+        counts = _fidelity_counts(report.fidelity)
+        total = sum(counts.values())
+        payload["fidelity"] = {
+            **counts,
+            "total": total,
+            "pass_rate": counts["pass"] / total if total else None,
+            "substrate": report.fidelity.get("substrate"),
+        }
+    return payload
+
+
+def _format_cell(value: float | None, fmt: str = "{:.3f}") -> str:
+    return fmt.format(value) if value is not None else "—"
+
+
+def render_trend(report: TrendReport) -> str:
+    """Markdown trend tables (CI job-summary friendly)."""
+    if not report.points:
+        return "# Performance trend\n\nNo benchmark artifacts found.\n"
+    labels = [point.label for point in report.points]
+    lines = ["# Performance trend", ""]
+    lines.append(
+        f"{len(report.points)} artifact(s): "
+        + ", ".join(f"`{point.path}`" for point in report.points)
+    )
+    lines.append("")
+    lines.append("## Benchmark means (ms)")
+    lines.append("")
+    lines.append(
+        "| benchmark | " + " | ".join(labels) + " | oldest/newest |"
+    )
+    lines.append("|" + "---|" * (len(labels) + 2))
+    for metric in report.metrics:
+        means = [_mean_ms(point, metric) for point in report.points]
+        measured = [m for m in means if m is not None]
+        ratio = (
+            f"{measured[0] / measured[-1]:.2f}x"
+            if len(measured) >= 2 and measured[-1] > 0
+            else "—"
+        )
+        cells = " | ".join(_format_cell(mean) for mean in means)
+        lines.append(f"| {metric} | {cells} | {ratio} |")
+
+    if any(any(_p95_ms(p, m) is not None for m in report.metrics)
+           for p in report.points):
+        lines.append("")
+        lines.append("## Benchmark p95 (ms)")
+        lines.append("")
+        lines.append("| benchmark | " + " | ".join(labels) + " |")
+        lines.append("|" + "---|" * (len(labels) + 1))
+        for metric in report.metrics:
+            p95s = [_p95_ms(point, metric) for point in report.points]
+            if all(p is None for p in p95s):
+                continue
+            cells = " | ".join(_format_cell(p) for p in p95s)
+            lines.append(f"| {metric} | {cells} |")
+
+    if any(point.speedups for point in report.points):
+        lines.append("")
+        lines.append("## Claimed same-PR speedups (vs each PR's pre revision)")
+        lines.append("")
+        lines.append("| benchmark | " + " | ".join(labels) + " |")
+        lines.append("|" + "---|" * (len(labels) + 1))
+        for metric in report.metrics:
+            speedups = [point.speedups.get(metric) for point in report.points]
+            if all(s is None for s in speedups):
+                continue
+            cells = " | ".join(
+                _format_cell(s, "{:.2f}x") for s in speedups
+            )
+            lines.append(f"| {metric} | {cells} |")
+
+    sweep_points = [point for point in report.points if point.sweep]
+    if sweep_points:
+        lines.append("")
+        lines.append("## Sweep engine")
+        lines.append("")
+        lines.append(
+            "| figure | " + " | ".join(p.label for p in sweep_points) + " |"
+        )
+        lines.append("|" + "---|" * (len(sweep_points) + 1))
+        for label, key in _SWEEP_FIGURES:
+            values = [point.sweep.get(key) for point in sweep_points]
+            if all(v is None for v in values):
+                continue
+            cells = " | ".join(_format_cell(v, "{:.2f}") for v in values)
+            lines.append(f"| {label} | {cells} |")
+
+    if report.fidelity:
+        counts = _fidelity_counts(report.fidelity)
+        total = sum(counts.values())
+        lines.append("")
+        lines.append("## Fidelity baseline")
+        lines.append("")
+        lines.append(
+            f"{counts['pass']}/{total} shapes pass "
+            f"({counts['skip']} skipped, {counts['fail']} failing) on the "
+            f"`{report.fidelity.get('substrate', '?')}` substrate — "
+            f"pass rate {counts['pass'] / total:.0%}."
+            if total
+            else "Fidelity baseline present but empty."
+        )
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+def perftrend_main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro perftrend [artifacts...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perftrend",
+        description="Render the BENCH_*.json history as a trend report.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        help="BENCH_*.json artifacts (default: BENCH_*.json in the "
+        "current directory)",
+    )
+    parser.add_argument(
+        "--fidelity",
+        default="fidelity-baseline.json",
+        help="fidelity baseline JSON (default: %(default)s; skipped "
+        "silently when absent)",
+    )
+    parser.add_argument(
+        "--format", choices=("markdown", "json"), default="markdown"
+    )
+    parser.add_argument("--out", default=None, help="write here instead of stdout")
+    args = parser.parse_args(argv)
+
+    paths = args.artifacts
+    if not paths:
+        paths = sorted(
+            str(p) for p in pathlib.Path(".").glob("BENCH_*.json")
+        )
+    if not paths:
+        print("perftrend: no BENCH_*.json artifacts found")
+        return 1
+    report = load_trend(paths, fidelity_path=args.fidelity)
+    if args.format == "json":
+        text = json.dumps(trend_json(report), indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_trend(report)
+    if args.out:
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0

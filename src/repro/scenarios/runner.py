@@ -21,6 +21,8 @@ Protocols:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.maxmin_reference import weighted_maxmin_rates
 from repro.analysis.resilience import per_arrival_convergence
 from repro.analysis.throughput import effective_network_throughput
@@ -108,6 +110,8 @@ def run_scenario(
     telemetry: Telemetry | None = None,
     trace: TraceCollector | None = None,
     sanitizer: ReplaySanitizer | None = None,
+    stream: Any = None,
+    health: Any = None,
 ) -> RunResult:
     """Simulate one session and measure end-to-end flow rates.
 
@@ -175,6 +179,21 @@ def run_scenario(
             schedules); the final digest lands in
             ``extras["replay_digest"]``.  :func:`replay_check` runs a
             scenario twice and diffs two sanitizers.
+        stream: optional streaming publisher (duck-typed to avoid a
+            layering cycle — :class:`repro.obs.stream.StreamPublisher`
+            in practice; it must wrap the same ``telemetry`` instance).
+            Bound to the kernel as a passive run monitor before the
+            run and closed after telemetry is finalized, so killed or
+            wedged runs leave their telemetry in the stream's sinks.
+        health: optional in-run health monitor (duck-typed —
+            :class:`repro.obs.health.HealthMonitor` in practice).
+            Ticked by the kernel on its own cadence, it evaluates
+            liveness probes and the anomaly detectors over a partial
+            result snapshot mid-run; the final
+            :class:`~repro.obs.health.AlertLog` lands in
+            ``extras["health"]``.  Neither hook schedules events or
+            draws randomness: the dispatched event sequence (and the
+            replay digest) is identical with or without them.
 
     Raises:
         ConfigError: on unknown protocol/substrate names, inconsistent
@@ -423,6 +442,56 @@ def run_scenario(
             index += 1
         sim.call_at(duration, sample, tag="runner.sample")
 
+    if stream is not None:
+        stream.bind(sim)
+    if health is not None:
+        # The monitor scans a *partial* result each tick.  Everything
+        # the snapshot touches is plain live state — no RNG, no event
+        # scheduling — so health checks cannot perturb the run.
+        reference_cache: dict[str, Any] = {}
+
+        def health_snapshot() -> RunResult:
+            snapshot_extras: dict[str, Any] = {}
+            if telemetry is not None and telemetry.enabled:
+                snapshot_extras["telemetry"] = telemetry
+            if gmp is not None:
+                key = tuple(sorted(flow.flow_id for flow in flows))
+                if reference_cache.get("key") != key:
+                    reference_cache["key"] = key
+                    reference_cache["rates"] = dict(
+                        weighted_maxmin_rates(
+                            flows, routes, topology_cliques(), capacity_pps
+                        ).rates
+                    )
+                snapshot_extras["maxmin_reference"] = reference_cache["rates"]
+            # duration is the *planned* duration, not sim.now: the
+            # detectors derive their warmup cutoffs and window grids
+            # from it, and a fixed grid keeps mid-run findings a prefix
+            # of the end-of-run scan instead of a drifting-window
+            # superset (which false-positives on clean runs).
+            return RunResult(
+                scenario=scenario.name,
+                protocol=protocol,
+                substrate=substrate,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                flow_rates={},
+                hop_counts={},
+                effective_throughput=0.0,
+                rate_interval=rate_interval,
+                interval_rates=interval_rates,
+                interval_bounds=interval_bounds,
+                flow_lifetimes=(
+                    churn_engine.live_lifetimes()
+                    if churn_engine is not None
+                    else {}
+                ),
+                extras=snapshot_extras,
+            )
+
+        health.bind(sim, health_snapshot)
+
     sim.run(
         until=duration,
         max_events=max_events,
@@ -462,6 +531,13 @@ def run_scenario(
             extras["capacity_pps"] = capacity_pps
     if trace is not None:
         extras["trace"] = trace
+    if stream is not None:
+        # After telemetry.finalize and the run_info update, so the
+        # streamed header and snapshot block carry exactly what the
+        # end-of-run JSONL export would.
+        stream.close(sim.now)
+    if health is not None:
+        extras["health"] = health.finalize(sim.now)
 
     churn_report = churn_engine.finalize() if churn_engine is not None else None
     lifetimes: dict[int, tuple[float, float]] = (

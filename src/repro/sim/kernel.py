@@ -13,10 +13,20 @@ process.  Three are available on :meth:`Simulator.run`:
 
 Telemetry: when a :class:`~repro.telemetry.Telemetry` instance is
 attached, :meth:`Simulator.run` counts dispatched events per tag, and
-— with profiling on — measures per-tag handler wall time and samples
-an events/sec throughput series.  Collection is strictly passive: the
-kernel never schedules events on behalf of telemetry, so an
-instrumented run dispatches exactly the same events as a bare one.
+— with profiling on — measures per-tag handler wall time (totals plus
+log-bucketed :class:`~repro.telemetry.SampleHistogram` distributions
+for p50/p95/p99) and samples an events/sec throughput series.
+Collection is strictly passive: the kernel never schedules events on
+behalf of telemetry, so an instrumented run dispatches exactly the
+same events as a bare one.
+
+Monitors: :meth:`Simulator.attach_monitor` accepts passive
+:class:`RunMonitor` observers (streaming telemetry sinks, the in-run
+health monitor) whose ticks are paced by the simulated clock but fire
+*between* event dispatches — they appear nowhere in the event queue,
+so the replay digest of a monitored run is byte-identical to a bare
+one.  Watchdog aborts call each monitor's ``on_abort`` hook first, so
+diagnostics are flushed instead of dying with the process.
 """
 
 from __future__ import annotations
@@ -26,8 +36,9 @@ from __future__ import annotations
 # docs/DETERMINISM.md).
 
 import time as _time
+from bisect import bisect_left
 from collections import Counter
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.errors import SimulationError
 from repro.sim.event import DEFAULT_PRIORITY, Event, EventQueue
@@ -39,11 +50,47 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 #: Events between throughput samples when telemetry is collecting.
 _THROUGHPUT_WINDOW = 4096
 
+#: Geometric handler-wall-time buckets for the profiling histograms:
+#: 100 ns doubling up to ~3.4 s.  Durations land in one of 26 buckets
+#: (plus overflow); p50/p95/p99 are interpolated inside a bucket, so
+#: the estimate error is bounded by one doubling.
+WALL_TIME_BOUNDS: tuple[float, ...] = tuple(1e-7 * (2**i) for i in range(26))
+
 #: Upper bound on events popped from the heap per dispatch batch.
 #: Batching amortises heap maintenance; correctness does not depend on
 #: the value because the loop re-checks order before every dispatch and
 #: parks the unprocessed tail back in the queue when overtaken.
 _BATCH_LIMIT = 128
+
+
+class RunMonitor(Protocol):
+    """Passive observer paced by the simulated clock.
+
+    Attached via :meth:`Simulator.attach_monitor`, a monitor's
+    :meth:`on_tick` is invoked *between* event dispatches whenever the
+    simulated clock first reaches its next due time — the kernel never
+    schedules events on a monitor's behalf, so attaching one cannot
+    change the dispatched event sequence (the replay digest is pinned
+    byte-identical by tests).  Monitors must honor the same contract as
+    telemetry: never schedule, never touch the RNG registry, never
+    mutate model state.
+
+    Optional hooks (looked up by name, so plain objects qualify):
+
+    * ``on_abort(now, error)`` — called when a kernel watchdog
+      (stall/budget/deadline) is about to abort the run, so streaming
+      sinks can flush diagnostics that would otherwise die with the
+      process.
+    """
+
+    @property
+    def interval(self) -> float:
+        """Simulated seconds between :meth:`on_tick` invocations."""
+        ...
+
+    def on_tick(self, now: float) -> None:
+        """The clock reached the monitor's next due time."""
+        ...
 
 
 class Timer:
@@ -127,6 +174,8 @@ class Simulator:
         #: (passively — it never schedules) so two runs can be diffed.
         self.sanitizer = sanitizer
         self._events_processed = 0
+        self._monitors: list[RunMonitor] = []
+        self._monitor_due: list[float] = []
 
     # --- clock ------------------------------------------------------------
 
@@ -232,6 +281,57 @@ class Simulator:
 
         return stop
 
+    # --- monitors -----------------------------------------------------------
+
+    def attach_monitor(self, monitor: RunMonitor) -> None:
+        """Attach a passive :class:`RunMonitor`.
+
+        The monitor's first tick is one ``interval`` from now; ticks
+        fire from inside the dispatch loop (between callbacks) when the
+        simulated clock first reaches the due time, so they appear
+        nowhere in the event sequence.
+
+        Raises:
+            SimulationError: if the monitor's interval is not positive.
+        """
+        interval = float(monitor.interval)
+        if interval <= 0:
+            raise SimulationError(
+                f"monitor interval must be positive: {interval}"
+            )
+        self._monitors.append(monitor)
+        self._monitor_due.append(self._now + interval)
+
+    def _tick_monitors(self) -> float:
+        """Fire every due monitor once; return the next overall due."""
+        now = self._now
+        for index, monitor in enumerate(self._monitors):
+            due = self._monitor_due[index]
+            if due > now:
+                continue
+            interval = float(monitor.interval)
+            # One tick per crossing, however far the clock jumped: a
+            # sparse schedule must not trigger a catch-up storm.
+            while due <= now:
+                due += interval
+            self._monitor_due[index] = due
+            monitor.on_tick(now)
+        return min(self._monitor_due)
+
+    def _watchdog_abort(self, message: str) -> SimulationError:
+        """Build the watchdog error and give every monitor a chance to
+        flush diagnostics before the run dies with it."""
+        error = SimulationError(message)
+        for monitor in self._monitors:
+            hook = getattr(monitor, "on_abort", None)
+            if hook is None:
+                continue
+            try:
+                hook(self._now, error)
+            except Exception:  # noqa: BLE001 - a failing flush must
+                pass  # never mask the watchdog diagnosis itself
+        return error
+
     # --- run control --------------------------------------------------------
 
     def stop(self) -> None:
@@ -290,6 +390,9 @@ class Simulator:
         profile = telemetry.profile
         tag_counts: dict[str, int] = {}
         tag_wall: dict[str, float] = {}
+        tag_wall_buckets: dict[str, list[int]] = {}
+        wall_bounds = WALL_TIME_BOUNDS
+        bucket_width = len(wall_bounds) + 1
         run_events = 0
         run_start = _time.monotonic() if collect else 0.0
         window_start = run_start
@@ -309,6 +412,10 @@ class Simulator:
             and wall_deadline is None
             and sanitizer is None
             and not collect
+            and not self._monitors
+        )
+        monitor_due = (
+            min(self._monitor_due) if self._monitors else float("inf")
         )
         try:
             if fast:
@@ -387,7 +494,7 @@ class Simulator:
                                     f"{tag} x{count}"
                                     for tag, count in stalled_tags.most_common(5)
                                 )
-                                raise SimulationError(
+                                raise self._watchdog_abort(
                                     f"simulated clock stalled at t={self._now:.9f}: "
                                     f"{events_at_now} events without advancing; "
                                     f"offending tags: {offenders}"
@@ -396,7 +503,7 @@ class Simulator:
                             max_events is not None
                             and self._events_processed > max_events
                         ):
-                            raise SimulationError(
+                            raise self._watchdog_abort(
                                 f"exceeded max_events={max_events}; runaway model?"
                             )
                         if (
@@ -404,7 +511,7 @@ class Simulator:
                             and self._events_processed % 512 == 0
                             and _time.monotonic() - wall_start > wall_deadline
                         ):
-                            raise SimulationError(
+                            raise self._watchdog_abort(
                                 f"wall-clock deadline of {wall_deadline:g}s "
                                 f"exceeded at t={self._now:.6f} after "
                                 f"{self._events_processed} events"
@@ -422,11 +529,19 @@ class Simulator:
                             if profile:
                                 handler_start = _time.perf_counter()
                                 event.callback()
-                                tag_wall[tag] = (
-                                    tag_wall.get(tag, 0.0)
-                                    + _time.perf_counter()
-                                    - handler_start
+                                duration = (
+                                    _time.perf_counter() - handler_start
                                 )
+                                tag_wall[tag] = (
+                                    tag_wall.get(tag, 0.0) + duration
+                                )
+                                buckets = tag_wall_buckets.get(tag)
+                                if buckets is None:
+                                    buckets = [0] * bucket_width
+                                    tag_wall_buckets[tag] = buckets
+                                buckets[
+                                    bisect_left(wall_bounds, duration)
+                                ] += 1
                             else:
                                 event.callback()
                             if run_events % _THROUGHPUT_WINDOW == 0:
@@ -437,6 +552,12 @@ class Simulator:
                                         self._now, _THROUGHPUT_WINDOW / window
                                     )
                                 window_start = wall_now
+                        if self._now >= monitor_due:
+                            # Paced by the simulated clock but invoked
+                            # between callbacks: monitors observe, never
+                            # schedule, so the event sequence — and the
+                            # replay digest — are untouched.
+                            monitor_due = self._tick_monitors()
                         if self._stopped:
                             break
                 finally:
@@ -455,6 +576,13 @@ class Simulator:
                     registry.counter(
                         "kernel.handler_wall_seconds", tag=tag
                     ).inc(wall)
+                    buckets = tag_wall_buckets.get(tag)
+                    if buckets is not None:
+                        registry.sample_histogram(
+                            "kernel.handler_wall_hist",
+                            wall_bounds,
+                            tag=tag,
+                        ).merge_counts(buckets, wall)
                 if batches:
                     registry.counter("kernel.event_batches").inc(batches)
                     registry.counter("kernel.batched_events").inc(batched_events)

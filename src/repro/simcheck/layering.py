@@ -133,6 +133,23 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "scenarios",
         "fidelity",
     },
+    # The observability plane consumes finished and *in-flight* runs
+    # from above scenarios/fidelity, but — like telemetry — it may
+    # never import the kernel: it reaches the simulator only through
+    # the duck-typed monitor handle the runner passes it, which is
+    # what keeps "observing a run cannot perturb it" architectural.
+    "obs": {
+        "errors",
+        "units",
+        "telemetry",
+        "flows",
+        "topology",
+        "routing",
+        "core",
+        "analysis",
+        "scenarios",
+        "fidelity",
+    },
     "__init__": None,
     "__main__": None,
 }

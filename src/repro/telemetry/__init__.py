@@ -35,6 +35,7 @@ from repro.telemetry.registry import (
     Gauge,
     Instrument,
     MetricsRegistry,
+    SampleHistogram,
     Series,
     TimeWeightedHistogram,
     stable_instrument_key,
@@ -117,6 +118,7 @@ __all__ = [
     "Instrument",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "SampleHistogram",
     "Series",
     "Telemetry",
     "TelemetryEvent",

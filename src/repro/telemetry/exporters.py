@@ -25,6 +25,7 @@ from repro.telemetry import Telemetry
 from repro.telemetry.registry import (
     Counter,
     Gauge,
+    SampleHistogram,
     Series,
     TimeWeightedHistogram,
     stable_instrument_key,
@@ -67,54 +68,73 @@ def write_metrics_jsonl(
         return _write_jsonl(handle, telemetry, info)
 
 
+def run_record(info: dict[str, Any]) -> dict[str, Any]:
+    """The ``run`` header record for ``info``."""
+    return {"record": "run", **_jsonable(info)}
+
+
+def instrument_record(instrument: Any) -> dict[str, Any]:
+    """The snapshot/header record for one instrument (a series'
+    sample lines are separate — see :func:`sample_record`)."""
+    base = {
+        "record": instrument.kind,
+        "name": instrument.name,
+        "labels": _jsonable(instrument.labels),
+    }
+    if isinstance(instrument, (Counter, Gauge)):
+        return {**base, "value": instrument.value}
+    if isinstance(instrument, (TimeWeightedHistogram, SampleHistogram)):
+        return {**base, **instrument.snapshot()}
+    if isinstance(instrument, Series):
+        return {**base, "points": len(instrument), "dropped": instrument.dropped}
+    return {**base, **instrument.snapshot()}
+
+
+def sample_record(instrument: Series, t: float, v: float) -> dict[str, Any]:
+    """One series point as a ``sample`` record."""
+    return {
+        "record": "sample",
+        "name": instrument.name,
+        "labels": _jsonable(instrument.labels),
+        "t": t,
+        "v": v,
+    }
+
+
+def event_record(event: Any) -> dict[str, Any]:
+    """One telemetry event as an ``event`` record."""
+    return {
+        "record": "event",
+        "t": event.time,
+        "category": event.category,
+        "fields": _jsonable(event.fields),
+    }
+
+
+def iter_metric_records(telemetry: Telemetry, info: dict[str, Any]):
+    """Every JSONL record of a run, in the canonical export order:
+    run header, instruments (each series followed by its samples),
+    events, drop marker.  Both :func:`write_metrics_jsonl` and the
+    streaming publisher (:mod:`repro.obs.stream`) are built on this,
+    which is what makes a streamed run reconstructible byte-for-byte.
+    """
+    yield run_record(info)
+    for instrument in telemetry.registry.instruments():
+        yield instrument_record(instrument)
+        if isinstance(instrument, Series):
+            for t, v in zip(instrument.times, instrument.values):
+                yield sample_record(instrument, t, v)
+    for event in telemetry.events:
+        yield event_record(event)
+    if telemetry.events_dropped:
+        yield {"record": "events_dropped", "count": telemetry.events_dropped}
+
+
 def _write_jsonl(handle: TextIO, telemetry: Telemetry, info: dict[str, Any]) -> int:
     lines = 0
-
-    def emit(record: dict[str, Any]) -> None:
-        nonlocal lines
+    for record in iter_metric_records(telemetry, info):
         handle.write(json.dumps(record, default=str) + "\n")
         lines += 1
-
-    emit({"record": "run", **_jsonable(info)})
-    for instrument in telemetry.registry.instruments():
-        base = {
-            "record": instrument.kind,
-            "name": instrument.name,
-            "labels": _jsonable(instrument.labels),
-        }
-        if isinstance(instrument, (Counter, Gauge)):
-            emit({**base, "value": instrument.value})
-        elif isinstance(instrument, TimeWeightedHistogram):
-            emit({**base, **instrument.snapshot()})
-        elif isinstance(instrument, Series):
-            emit(
-                {
-                    **base,
-                    "points": len(instrument),
-                    "dropped": instrument.dropped,
-                }
-            )
-            for t, v in zip(instrument.times, instrument.values):
-                emit(
-                    {
-                        "record": "sample",
-                        "name": instrument.name,
-                        "labels": _jsonable(instrument.labels),
-                        "t": t,
-                        "v": v,
-                    }
-                )
-    for event in telemetry.events:
-        emit(
-            {
-                "record": "event",
-                "t": event.time,
-                "category": event.category,
-                "fields": _jsonable(event.fields),
-            }
-        )
-    if telemetry.events_dropped:
-        emit({"record": "events_dropped", "count": telemetry.events_dropped})
     return lines
 
 
@@ -272,6 +292,32 @@ def format_summary(telemetry: Telemetry, *, top: int = 12) -> str:
         )
         if throughput is not None and getattr(throughput, "value", None):
             lines.append(f"  events/sec (wall): {throughput.value:,.0f}")
+
+    hists = [
+        instrument
+        for instrument in telemetry.registry.instruments("kernel.handler_wall_hist")
+        if isinstance(instrument, SampleHistogram) and instrument.count
+    ]
+    if hists:
+        lines.append("")
+        lines.append("kernel: handler wall time (top by total, us)")
+        header = (
+            f"  {'tag':<28} {'count':>10} {'p50':>9} {'p95':>9}"
+            f" {'p99':>9} {'total ms':>10}"
+        )
+        lines.append(header)
+        # Rank by where the wall time actually went, not call count.
+        for hist in sorted(
+            hists, key=lambda h: (-h.total, stable_instrument_key(h))
+        )[:top]:
+            tag = hist.labels.get("tag", "?")
+            lines.append(
+                f"  {tag:<28} {hist.count:>10}"
+                f" {hist.quantile(0.50) * 1e6:>9.1f}"
+                f" {hist.quantile(0.95) * 1e6:>9.1f}"
+                f" {hist.quantile(0.99) * 1e6:>9.1f}"
+                f" {hist.total * 1e3:>10.2f}"
+            )
 
     counters = [
         instrument

@@ -220,6 +220,99 @@ class Series(Instrument):
         }
 
 
+class SampleHistogram(Instrument):
+    """Count-per-bucket distribution of individual observations.
+
+    Unlike :class:`TimeWeightedHistogram` (dwell time of a
+    piecewise-constant signal), this counts discrete samples — handler
+    wall times, batch sizes — and answers quantile queries by linear
+    interpolation inside the bucket that crosses the requested rank.
+    ``bucket_counts[i]`` is the number of observations with
+    ``bounds[i-1] < value <= bounds[i]`` (first bucket: ``value <=
+    bounds[0]``; last: above every bound).
+    """
+
+    kind = "sample_histogram"
+
+    def __init__(
+        self, name: str, labels: dict[str, Any], bounds: tuple[float, ...]
+    ) -> None:
+        super().__init__(name, labels)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(
+                f"sample histogram {name} needs sorted, non-empty bounds: {bounds}"
+            )
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def merge_counts(self, bucket_counts: list[int], total: float) -> None:
+        """Fold pre-bucketed counts in (the kernel buckets during the
+        run and merges once at the end, keeping the hot path flat)."""
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ConfigError(
+                f"sample histogram {self.name} merge width mismatch: "
+                f"{len(bucket_counts)} != {len(self.bucket_counts)}"
+            )
+        for index, extra in enumerate(bucket_counts):
+            self.bucket_counts[index] += extra
+        self.count += sum(bucket_counts)
+        self.total += total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Interpolates linearly inside the crossing bucket; observations
+        above every bound report the last bound (a floor — exact values
+        were never kept).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must lie in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            if bucket == 0:
+                continue
+            if cumulative + bucket >= rank:
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.bounds[-1]
+                )
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                if index >= len(self.bounds):
+                    return upper
+                fraction = (rank - cumulative) / bucket
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
 class _NullCounter(Counter):
     __slots__ = ()
 
@@ -254,10 +347,21 @@ class _NullSeries(Series):
         pass
 
 
+class _NullSampleHistogram(SampleHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def merge_counts(self, bucket_counts: list[int], total: float) -> None:
+        pass
+
+
 NULL_COUNTER = _NullCounter("null", {})
 NULL_GAUGE = _NullGauge("null", {})
 NULL_HISTOGRAM = _NullHistogram("null", {}, (0.0,))
 NULL_SERIES = _NullSeries("null", {}, limit=0)
+NULL_SAMPLE_HISTOGRAM = _NullSampleHistogram("null", {}, (0.0,))
 
 
 class MetricsRegistry:
@@ -316,6 +420,18 @@ class MetricsRegistry:
             name,
             labels,
             lambda: TimeWeightedHistogram(name, labels, bounds),
+        )
+
+    def sample_histogram(
+        self, name: str, bounds: tuple[float, ...], **labels: Any
+    ) -> SampleHistogram:
+        if not self.enabled:
+            return NULL_SAMPLE_HISTOGRAM
+        return self._get(
+            "sample_histogram",
+            name,
+            labels,
+            lambda: SampleHistogram(name, labels, bounds),
         )
 
     def series(

@@ -1,0 +1,199 @@
+"""In-run health monitor: alert dedup/cooldown, delivery hooks, silence
+on a clean run, and mid-run detection on an injected fault run."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults import FaultSchedule, NodeCrash, NodeRecover
+from repro.flows.flow import Flow, FlowSet
+from repro.obs import (
+    AlertLog,
+    HealthConfig,
+    HealthMonitor,
+    console_delivery,
+    jsonl_delivery,
+    webhook_delivery,
+)
+from repro.scenarios.figures import Scenario, figure3
+from repro.scenarios.runner import run_scenario
+from repro.telemetry import Telemetry
+from repro.topology.builders import chain_topology
+
+
+# ---------------------------------------------------------------- alert log
+
+
+def test_alert_log_dedups_and_gates_redelivery_on_cooldown():
+    delivered = []
+    log = AlertLog(deliveries=[delivered.append], cooldown=10.0)
+
+    log.raise_alert(10.0, "starved_flow", "warning", {"flow": "1"}, "m1")
+    log.raise_alert(12.0, "starved_flow", "warning", {"flow": "1"}, "m2")
+    log.raise_alert(21.0, "starved_flow", "warning", {"flow": "1"}, "m3")
+
+    assert len(log) == 1
+    alert = log.alerts()[0]
+    assert alert.count == 3
+    assert alert.first_seen == 10.0 and alert.last_seen == 21.0
+    assert alert.message == "m3"
+    # First occurrence delivers immediately; the t=12 repeat is inside
+    # the cooldown, the t=21 repeat is past it.
+    assert alert.deliveries == 2
+    assert len(delivered) == 2
+
+
+def test_alert_log_separates_label_sets_and_escalates_severity():
+    log = AlertLog()
+    log.raise_alert(10.0, "queue_divergence", "warning", {"node": "1"}, "a")
+    log.raise_alert(10.0, "queue_divergence", "warning", {"node": "2"}, "b")
+    assert len(log) == 2
+
+    log.raise_alert(11.0, "queue_divergence", "critical", {"node": "1"}, "worse")
+    log.raise_alert(12.0, "queue_divergence", "warning", {"node": "1"}, "calmer")
+    # Critical sticks: a later warning-level repeat does not demote.
+    assert log.alerts()[0].severity == "critical"
+
+
+def test_alert_log_render_clean_and_with_alerts():
+    log = AlertLog()
+    assert log.render() == "health: clean (no alerts)"
+    log.raise_alert(5.0, "event_rate_stall", "critical", {}, "went quiet")
+    rendered = log.render()
+    assert "1 alert(s)" in rendered
+    assert "[critical] event_rate_stall" in rendered
+
+
+# ---------------------------------------------------------------- deliveries
+
+
+def test_console_delivery_writes_rendered_line():
+    lines = []
+    log = AlertLog(deliveries=[console_delivery(write=lines.append)])
+    log.raise_alert(5.0, "starved_flow", "warning", {"flow": "2"}, "flow 2 starved")
+    assert lines and lines[0].startswith("health alert [warning] starved_flow")
+
+
+def test_jsonl_delivery_appends_durable_lines(tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    log = AlertLog(deliveries=[jsonl_delivery(str(path))])
+    log.raise_alert(5.0, "starved_flow", "warning", {"flow": "2"}, "starved")
+    log.raise_alert(6.0, "queue_divergence", "warning", {"node": "1"}, "queues")
+    payloads = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [p["probe"] for p in payloads] == ["starved_flow", "queue_divergence"]
+    assert payloads[0]["first_seen"] == 5.0
+
+
+def test_webhook_delivery_stub_collects_posts():
+    posted = []
+    hook = webhook_delivery("http://ops/alerts", post=lambda url, p: posted.append(url))
+    log = AlertLog(deliveries=[hook])
+    log.raise_alert(5.0, "condition_flap", "warning", {"link": "0->1"}, "flapping")
+    assert hook.sent[0][0] == "http://ops/alerts"
+    assert hook.sent[0][1]["probe"] == "condition_flap"
+    assert posted == ["http://ops/alerts"]
+
+
+# ---------------------------------------------------------------- config
+
+
+def test_health_monitor_validates_config():
+    with pytest.raises(ConfigError):
+        HealthMonitor(HealthConfig(interval=0.0))
+    with pytest.raises(ConfigError):
+        HealthMonitor(HealthConfig(detectors=("no_such_detector",)))
+
+
+# ---------------------------------------------------------------- clean run
+
+
+def test_clean_run_raises_no_alerts():
+    telemetry = Telemetry()
+    health = HealthMonitor(deliveries=[])
+    result = run_scenario(
+        figure3(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=40.0,
+        seed=1,
+        rate_interval=1.0,
+        telemetry=telemetry,
+        health=health,
+    )
+    log = result.extras["health"]
+    assert log is health.log
+    assert log.alerts() == []
+    assert health.ticks > 30  # ticked throughout, not just at the end
+
+
+# ---------------------------------------------------------------- fault run
+
+
+def _crash_scenario():
+    return Scenario(
+        name="crash",
+        topology=chain_topology(4),
+        flows=FlowSet(
+            [
+                Flow(flow_id=1, source=0, destination=3, desired_rate=40.0),
+                Flow(flow_id=2, source=2, destination=3, desired_rate=40.0),
+            ]
+        ),
+        notes="",
+    )
+
+
+def test_crash_run_alerts_mid_run_with_dedup():
+    duration = 40.0
+    telemetry = Telemetry()
+    hook = webhook_delivery("http://ops/alerts")
+    health = HealthMonitor(deliveries=[hook])
+    result = run_scenario(
+        _crash_scenario(),
+        protocol="gmp",
+        substrate="fluid",
+        duration=duration,
+        seed=7,
+        capacity_pps=400.0,
+        rate_interval=1.0,
+        telemetry=telemetry,
+        health=health,
+        faults=FaultSchedule(
+            [NodeCrash(at=12.0, node=1), NodeRecover(at=27.0, node=1)]
+        ),
+    )
+    alerts = result.extras["health"].alerts()
+    assert alerts, "injected crash must be flagged"
+    flagged = alerts[0]
+    # Raised mid-run (timestamped well before the run ended), and the
+    # persisting condition deduplicated into one alert that repeated.
+    assert flagged.first_seen < duration
+    assert flagged.count >= 1
+    raised_total = sum(alert.count for alert in alerts)
+    assert raised_total > len(alerts), "persisting conditions should dedup"
+    # Deliveries were cooldown-gated, not one per raise.
+    assert 0 < len(hook.sent) < raised_total
+
+
+# ---------------------------------------------------------------- abort
+
+
+def test_watchdog_abort_raises_critical_alert():
+    telemetry = Telemetry()
+    health = HealthMonitor(deliveries=[])
+    with pytest.raises(SimulationError):
+        run_scenario(
+            figure3(),
+            protocol="gmp",
+            substrate="fluid",
+            duration=30.0,
+            seed=1,
+            telemetry=telemetry,
+            health=health,
+            max_events=5000,
+        )
+    alerts = health.alerts()
+    assert [a.probe for a in alerts] == ["watchdog_abort"]
+    assert alerts[0].severity == "critical"
+    assert "max_events" in alerts[0].message

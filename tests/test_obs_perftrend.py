@@ -1,0 +1,138 @@
+"""Perf/fidelity trend reporter: artifact ordering, markdown/JSON
+rendering, schema-version tolerance, and the CLI entry point."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import load_trend, render_trend
+from repro.obs.perftrend import perftrend_main, trend_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _v1_artifact():
+    # Pre-schema-v2 layout: no schema_version, no pr, no p95_s.
+    return {
+        "schema": "repro-bench/1",
+        "benchmarks": {
+            "test_waterfill_solver": {"mean_s": 0.0004, "min_s": 0.0003, "rounds": 100},
+            "test_fluid_simulated_second": {"mean_s": 0.006, "min_s": 0.005, "rounds": 50},
+        },
+        "speedups": {"test_waterfill_solver": 1.5},
+    }
+
+
+def _v2_artifact(pr, mean):
+    return {
+        "schema": "repro-bench/2",
+        "schema_version": 2,
+        "pr": pr,
+        "benchmarks": {
+            "test_waterfill_solver": {
+                "mean_s": mean,
+                "min_s": mean * 0.8,
+                "p95_s": mean * 1.4,
+                "rounds": 100,
+            },
+        },
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_load_trend_orders_by_pr_field_then_filename(tmp_path):
+    paths = [
+        _write(tmp_path, "BENCH_9.json", _v2_artifact(2, 0.0002)),
+        _write(tmp_path, "BENCH_3.json", _v1_artifact()),
+    ]
+    trend = load_trend(paths)
+    # BENCH_9 carries pr=2, so it sorts before the v1 artifact whose
+    # order falls back to its filename number.
+    assert [p.label for p in trend.points] == ["PR 2", "PR 3"]
+    assert "test_waterfill_solver" in trend.metrics
+
+
+def test_render_trend_markdown_spans_artifacts(tmp_path):
+    paths = [
+        _write(tmp_path, "BENCH_3.json", _v1_artifact()),
+        _write(tmp_path, "BENCH_7.json", _v2_artifact(7, 0.0002)),
+    ]
+    trend = load_trend(paths)
+    rendered = render_trend(trend)
+    assert "PR 3" in rendered and "PR 7" in rendered
+    # 0.4 ms (PR 3) -> 0.2 ms (PR 7): oldest/newest ratio 2x.
+    assert "2.00x" in rendered
+    # v1 artifact has no p95; the v2 one does.
+    assert "p95" in rendered
+
+
+def test_trend_json_schema_and_ratio(tmp_path):
+    paths = [
+        _write(tmp_path, "BENCH_3.json", _v1_artifact()),
+        _write(tmp_path, "BENCH_7.json", _v2_artifact(7, 0.0002)),
+    ]
+    payload = trend_json(load_trend(paths))
+    assert payload["schema"] == "repro-perftrend/1"
+    series = payload["metrics"]["test_waterfill_solver"]
+    assert [point["pr"] for point in series["series"]] == [3, 7]
+    assert series["trend_ratio"] == pytest.approx(2.0)
+
+
+def test_trend_includes_fidelity_baseline(tmp_path):
+    bench = _write(tmp_path, "BENCH_3.json", _v1_artifact())
+    fidelity = tmp_path / "fidelity-baseline.json"
+    fidelity.write_text(
+        json.dumps({"shapes": {"t1:a": "pass", "t1:b": "skip"}, "substrate": "fluid"})
+    )
+    trend = load_trend([bench], fidelity_path=str(fidelity))
+    rendered = render_trend(trend)
+    assert "fidelity" in rendered.lower()
+    payload = trend_json(trend)
+    assert payload["fidelity"]["pass"] == 1
+
+
+def test_load_trend_rejects_malformed_artifacts(tmp_path):
+    no_benchmarks = _write(tmp_path, "BENCH_1.json", {"schema": "x"})
+    with pytest.raises(ConfigError):
+        load_trend([no_benchmarks])
+    unorderable = _write(tmp_path, "perf.json", {"benchmarks": {}})
+    with pytest.raises(ConfigError):
+        load_trend([unorderable])
+
+
+def test_committed_artifacts_render_multi_pr_trend():
+    """The acceptance check: the repo's own BENCH artifacts span PRs."""
+    paths = sorted(str(p) for p in REPO_ROOT.glob("BENCH_*.json"))
+    assert len(paths) >= 2
+    trend = load_trend(
+        paths, fidelity_path=str(REPO_ROOT / "fidelity-baseline.json")
+    )
+    assert len(trend.points) >= 2
+    rendered = render_trend(trend)
+    assert "oldest/newest" in rendered
+
+
+def test_perftrend_main_writes_json_report(tmp_path):
+    _write(tmp_path, "BENCH_3.json", _v1_artifact())
+    _write(tmp_path, "BENCH_7.json", _v2_artifact(7, 0.0002))
+    out = tmp_path / "trend.json"
+    code = perftrend_main(
+        [
+            str(tmp_path / "BENCH_3.json"),
+            str(tmp_path / "BENCH_7.json"),
+            "--format",
+            "json",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro-perftrend/1"

@@ -40,6 +40,7 @@ def test_subpackage_docstrings_exist():
     import repro.fuzz
     import repro.flows
     import repro.mac
+    import repro.obs
     import repro.routing
     import repro.scenarios
     import repro.sim
@@ -56,6 +57,7 @@ def test_subpackage_docstrings_exist():
         repro.fuzz,
         repro.flows,
         repro.mac,
+        repro.obs,
         repro.routing,
         repro.scenarios,
         repro.sim,

@@ -278,3 +278,89 @@ def test_timer_callback_exception_leaves_kernel_defined():
     sim.call_later(1.0, lambda: seen.append(sim.now))
     sim.run(until=5.0)
     assert seen == [2.0]
+
+
+# ------------------------------------------------------------ run monitors
+
+
+class _RecordingMonitor:
+    def __init__(self, interval=1.0):
+        self.interval = interval
+        self.ticks = []
+        self.aborts = []
+
+    def on_tick(self, now):
+        self.ticks.append(now)
+
+    def on_abort(self, now, error):
+        self.aborts.append((now, str(error)))
+
+
+def test_monitor_ticks_once_per_interval_crossing():
+    sim = Simulator()
+    monitor = _RecordingMonitor(interval=1.0)
+    sim.attach_monitor(monitor)
+    stop = sim.every(0.25, lambda: None)
+    sim.run(until=5.0)
+    stop()
+    # One tick per whole-second crossing; dense events never double-fire.
+    assert monitor.ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_monitor_sparse_schedule_has_no_catchup_storm():
+    sim = Simulator()
+    monitor = _RecordingMonitor(interval=1.0)
+    sim.attach_monitor(monitor)
+    fired = []
+    sim.call_at(10.0, lambda: fired.append(sim.now))
+    sim.run(until=20.0)
+    # The clock jumped 0 -> 10 in one dispatch: exactly one tick fires
+    # at the jump, not ten catch-up ticks.
+    assert fired == [10.0]
+    assert monitor.ticks == [10.0]
+
+
+def test_monitor_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.attach_monitor(_RecordingMonitor(interval=0.0))
+
+
+def test_watchdog_abort_notifies_monitors_before_raising():
+    sim = Simulator()
+    monitor = _RecordingMonitor(interval=1.0)
+    sim.attach_monitor(monitor)
+    stop = sim.every(0.1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(until=100.0, max_events=17)
+    stop()
+    assert len(monitor.aborts) == 1
+    _, message = monitor.aborts[0]
+    assert "max_events" in message
+
+
+def test_failing_abort_hook_never_masks_the_watchdog():
+    class ExplodingMonitor(_RecordingMonitor):
+        def on_abort(self, now, error):
+            raise RuntimeError("flush failed")
+
+    sim = Simulator()
+    sim.attach_monitor(ExplodingMonitor(interval=1.0))
+    sim.every(0.1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(until=100.0, max_events=5)
+
+
+def test_monitor_is_absent_from_the_event_sequence():
+    from repro.sim.replay import ReplaySanitizer
+
+    def digest(with_monitor):
+        sim = Simulator(sanitizer=ReplaySanitizer())
+        if with_monitor:
+            sim.attach_monitor(_RecordingMonitor(interval=0.5))
+        stop = sim.every(0.25, lambda: None)
+        sim.run(until=5.0)
+        stop()
+        return sim.sanitizer.hexdigest()
+
+    assert digest(False) == digest(True)

@@ -218,3 +218,112 @@ def test_format_summary_mentions_key_sections():
     assert "mac.retries" in text
     assert "gmp.adjust" in text
     assert "time series" in text
+
+
+# --------------------------------------------------- exporter edge cases
+
+
+def test_write_metrics_jsonl_empty_registry(tmp_path):
+    """A run that recorded nothing still exports a valid header-only file."""
+    path = tmp_path / "empty.jsonl"
+    telemetry = Telemetry()
+    telemetry.run_info = {"scenario": "empty", "seed": 1}
+    count = write_metrics_jsonl(path, telemetry)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert count == len(lines) == 1
+    assert lines[0]["record"] == "run"
+    assert lines[0]["scenario"] == "empty"
+
+
+def test_write_metrics_jsonl_marks_dropped_events(tmp_path):
+    telemetry = Telemetry(event_limit=2)
+    for i in range(5):
+        telemetry.event(float(i), "gmp.adjust", flow=1)
+    path = tmp_path / "dropped.jsonl"
+    write_metrics_jsonl(path, telemetry)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[-1] == {"record": "events_dropped", "count": 3}
+
+
+def test_chrome_trace_truncation_marker_round_trip(tmp_path):
+    """An over-limit trace keeps its ``trace.truncated`` marker through
+    the Chrome export, so truncation stays visible in the viewer too."""
+    from repro.sim.trace import TraceCollector
+
+    trace = TraceCollector(limit=2)
+    for i in range(5):
+        trace.emit(float(i), "mac.tx", node=i)
+    assert trace.dropped == 3
+
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, Telemetry(), trace=trace)
+    events = json.loads(path.read_text())["traceEvents"]
+    truncated = [e for e in events if e["name"] == "trace.truncated"]
+    assert len(truncated) == 1
+    assert truncated[0]["args"]["limit"] == 2
+
+
+# --------------------------------------------------- sample histograms
+
+
+def test_sample_histogram_quantiles_interpolate():
+    from repro.telemetry.registry import SampleHistogram
+
+    hist = SampleHistogram("kernel.wall", {}, bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean == pytest.approx(6.5 / 4)
+    # Rank 2 of 4 is halfway through the 2-count (1, 2] bucket.
+    assert hist.quantile(0.5) == pytest.approx(1.5)
+    # Values above every bound floor at the last bound.
+    hist.observe(100.0)
+    assert hist.quantile(1.0) == pytest.approx(4.0)
+    with pytest.raises(ConfigError):
+        hist.quantile(1.5)
+
+
+def test_sample_histogram_merge_counts():
+    from repro.telemetry.registry import SampleHistogram
+
+    hist = SampleHistogram("kernel.wall", {}, bounds=(1.0, 2.0))
+    hist.observe(0.5)
+    hist.merge_counts([2, 1, 0], total=3.5)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(4.0)
+    assert hist.bucket_counts == [3, 1, 0]
+    with pytest.raises(ConfigError):
+        hist.merge_counts([1, 2], total=1.0)  # width mismatch
+
+
+def test_registry_interns_sample_histograms_and_nulls_when_disabled():
+    registry = MetricsRegistry()
+    a = registry.sample_histogram("kernel.wall", (1.0, 2.0), tag="x")
+    assert a is registry.sample_histogram("kernel.wall", (1.0, 2.0), tag="x")
+    snapshot = a.snapshot()
+    assert {"p50", "p95", "p99", "bucket_counts"} <= set(snapshot)
+
+    disabled = MetricsRegistry(enabled=False)
+    null = disabled.sample_histogram("kernel.wall", (1.0,))
+    null.observe(5.0)  # must be a silent no-op
+    assert null.count == 0
+
+
+def test_profiled_kernel_buckets_handler_wall_time():
+    sim = Simulator(telemetry=Telemetry(profile=True))
+    stop = sim.every(0.5, lambda: None, tag="tick")
+    sim.run(until=5.0)
+    stop()
+    hists = [
+        inst
+        for inst in sim.telemetry.registry.instruments()
+        if inst.kind == "sample_histogram" and inst.name == "kernel.handler_wall_hist"
+    ]
+    assert any(h.labels.get("tag") == "tick" for h in hists)
+    tick = next(h for h in hists if h.labels.get("tag") == "tick")
+    assert tick.count == 10
+    assert tick.quantile(0.95) >= tick.quantile(0.5) > 0.0
+    # The profile summary renders the per-tag percentile table.
+    text = format_summary(sim.telemetry)
+    assert "handler wall time" in text
+    assert "p99" in text
