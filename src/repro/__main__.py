@@ -111,6 +111,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.perftrend import perftrend_main
 
         return perftrend_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check import check_main
+
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario", choices=("figure1", "figure2", "figure3", "figure4")

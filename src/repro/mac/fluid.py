@@ -18,12 +18,13 @@ omits collisions, hidden-terminal asymmetry, and EIFS effects — use
 from __future__ import annotations
 
 import math
+from collections import defaultdict
 
 from repro.errors import ConfigError, MacError
 from repro.mac.base import MacLayer, NodeServices
 from repro.mac.phy import DEFAULT_PHY, PhyProfile
 from repro.sim.kernel import Simulator
-from repro.topology.cliques import Clique, maximal_cliques
+from repro.topology.cliques import Clique, clique_index_positions, maximal_cliques
 from repro.topology.contention import ContentionGraph
 from repro.topology.network import Link, Topology
 
@@ -56,10 +57,10 @@ def _waterfill_core(
     alloc = [0.0] * m
     # Compact the cliques that actually have active members; member
     # lists are in link-index order, matching the old active-list scan.
-    clique_members: dict[int, list[int]] = {}
+    clique_members: dict[int, list[int]] = defaultdict(list)
     for i, clique_ids in enumerate(memberships):
         for clique_id in clique_ids:
-            clique_members.setdefault(clique_id, []).append(i)
+            clique_members[clique_id].append(i)
     member_lists = list(clique_members.values())
     n_cliques = len(member_lists)
     remaining = [capacity] * n_cliques
@@ -144,9 +145,13 @@ def waterfill_links(
     limits = [
         min(demands[a_link], rate_caps.get(a_link, math.inf)) for a_link in active
     ]
+    # One linear pass over the clique members replaces the per-link
+    # O(cliques) rescan; lookups canonicalize exactly as Clique's
+    # membership test does, so the tuples are identical.
+    positions = clique_index_positions(cliques)
     memberships = [
-        tuple(index for index, clique in enumerate(cliques) if a_link in clique)
-        for a_link in active
+        positions.get((i, j) if i <= j else (j, i), ())
+        for i, j in active
     ]
     rates = _waterfill_core(limits, memberships, capacity)
     return dict(zip(active, rates))

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.units import MICROSECONDS
+from repro.units import MBPS, MICROSECONDS
 
 #: MAC overhead of a data frame: 24-byte header + 4-byte FCS.
 DATA_HEADER_BYTES = 28
@@ -139,15 +139,15 @@ class PhyProfile:
 
 PHY_80211B_LONG = PhyProfile(
     name="802.11b-long",
-    data_rate=11e6,
-    basic_rate=1e6,
+    data_rate=11.0 * MBPS,
+    basic_rate=1.0 * MBPS,
     preamble=192 * MICROSECONDS,
 )
 
 PHY_80211B_SHORT = PhyProfile(
     name="802.11b-short",
-    data_rate=11e6,
-    basic_rate=2e6,
+    data_rate=11.0 * MBPS,
+    basic_rate=2.0 * MBPS,
     preamble=96 * MICROSECONDS,
 )
 

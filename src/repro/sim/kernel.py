@@ -33,7 +33,7 @@ from __future__ import annotations
 
 # simcheck: allow-file[DET001] watchdogs and opt-in profiling read wall
 # clocks deliberately; their readings never feed simulation state (see
-# docs/DETERMINISM.md).
+# docs/SIMCHECK.md).
 
 import time as _time
 from bisect import bisect_left

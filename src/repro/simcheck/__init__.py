@@ -8,7 +8,12 @@ kernel.  ``simcheck`` walks the AST of every source file and flags
 exactly those hazards at review time, before a golden test has to
 catch them at run time.
 
-Rule families (see :data:`RULES` and docs/DETERMINISM.md):
+Two analysis layers share one parse of the tree: a per-file AST pass,
+and a whole-program pass built on the :mod:`repro.simcheck.callgraph`
+call graph (hot-path and worker-process classification with evidence
+chains from the registration site).
+
+Rule families (see :data:`RULES` and docs/SIMCHECK.md):
 
 * ``DET0xx`` — determinism: entropy sources outside ``sim/rng.py``,
   wall-clock reads, unordered-set iteration, hash/identity-order
@@ -16,12 +21,21 @@ Rule families (see :data:`RULES` and docs/DETERMINISM.md):
 * ``LAY0xx`` — layering: the module dependency DAG, with the
   telemetry/kernel separation called out specially;
 * ``PAS0xx`` — passivity: telemetry instrument call sites must be
-  side-effect-free expressions.
+  side-effect-free expressions;
+* ``PERF0xx`` — hot-path complexity: latent O(n^2) collection rescans,
+  loop-invariant recomputation, per-event container churn — only on
+  functions reachable from a kernel scheduling registration;
+* ``UNIT0xx`` — dimension checking over seconds/bits/bits-per-second
+  inferred from ``repro.units`` constants and identifier names;
+* ``PAR0xx`` — sweep-pool safety: unpicklable callables crossing the
+  worker boundary, worker-side writes to module-level state.
 
 Usage::
 
     python -m repro.simcheck src/
     python -m repro.simcheck src/ --update-baseline
+    python -m repro.simcheck src/ --graph-out callgraph.json
+    python -m repro check            # simcheck + ruff + mypy, one exit code
 
 Suppressions: append ``# simcheck: allow[RULE] reason`` to the
 offending line, or put ``# simcheck: allow-file[RULE] reason`` on a
@@ -33,14 +47,19 @@ findings live in ``simcheck-baseline.json``; CI fails on new findings
 from __future__ import annotations
 
 from repro.simcheck.baseline import Baseline, match_baseline
+from repro.simcheck.callgraph import Program, build_program, parse_module
 from repro.simcheck.findings import Finding, RULES
-from repro.simcheck.rules import check_file, check_paths
+from repro.simcheck.rules import analyze_paths, check_file, check_paths
 
 __all__ = [
     "Baseline",
     "Finding",
+    "Program",
     "RULES",
+    "analyze_paths",
+    "build_program",
     "check_file",
     "check_paths",
     "match_baseline",
+    "parse_module",
 ]

@@ -13,10 +13,26 @@ import sys
 from pathlib import Path
 
 from repro.simcheck.baseline import Baseline, match_baseline
-from repro.simcheck.findings import RULES
-from repro.simcheck.rules import check_paths
+from repro.simcheck.callgraph import write_graph
+from repro.simcheck.findings import Finding, RULES
+from repro.simcheck.rules import analyze_paths
 
 DEFAULT_BASELINE = "simcheck-baseline.json"
+
+
+def _github_annotation(finding: Finding, *, new: bool) -> str:
+    """One ``::error``/``::notice`` workflow command per finding; GitHub
+    renders it inline on the PR diff.  Newlines are not allowed in the
+    message, so the call-chain evidence joins on ' | '."""
+    level = "error" if new else "notice"
+    message = finding.message
+    if finding.via:
+        message += f" | via {finding.via}"
+    message = message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule}::{message}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,7 +60,17 @@ def main(argv: list[str] | None = None) -> int:
         help="rewrite the baseline to exactly the current findings",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="github emits ::error workflow annotations for new "
+        "findings (and ::notice for grandfathered ones)",
+    )
+    parser.add_argument(
+        "--graph-out",
+        metavar="PATH",
+        help="export the annotated call graph (DOT for .dot/.gv, "
+        "JSON otherwise)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
@@ -62,10 +88,19 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     try:
-        findings = check_paths(args.paths)
+        findings, program = analyze_paths(args.paths)
     except SyntaxError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.graph_out:
+        write_graph(program, Path(args.graph_out))
+        hot = len(program.hot_chains)
+        workers = len(program.worker_chains)
+        print(
+            f"simcheck: wrote call graph ({len(program.functions)} "
+            f"functions, {hot} hot, {workers} worker) to {args.graph_out}"
+        )
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
@@ -84,6 +119,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     match = match_baseline(findings, baseline)
+
+    if args.format == "github":
+        for finding in match.new:
+            print(_github_annotation(finding, new=True))
+        for finding in match.grandfathered:
+            print(_github_annotation(finding, new=False))
+        for rule, path, line in match.stale:
+            print(
+                f"::error file={path},title=stale-baseline::stale "
+                f"baseline entry {rule} (no longer matches: {line!r})"
+            )
+        _print_stale_hint(match.stale, args)
+        return 0 if match.clean else 1
 
     if args.format == "json":
         print(
@@ -107,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{path}: stale baseline entry {rule} "
                 f"(no longer matches: {line!r})"
             )
+        _print_stale_hint(match.stale, args)
         summary = (
             f"simcheck: {len(match.new)} new finding(s), "
             f"{len(match.grandfathered)} grandfathered, "
@@ -114,6 +163,29 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(summary)
     return 0 if match.clean else 1
+
+
+def _print_stale_hint(
+    stale: list[tuple[str, str, str]], args: object
+) -> None:
+    """A fixed finding leaves its baseline entry stale; print the exact
+    command that drops the listed entries so the fix ratchets in."""
+    if not stale:
+        return
+    paths = " ".join(getattr(args, "paths", []) or [])
+    baseline = getattr(args, "baseline", DEFAULT_BASELINE)
+    command = f"python -m repro.simcheck {paths}".rstrip()
+    if baseline != DEFAULT_BASELINE:
+        command += f" --baseline {baseline}"
+    command += " --update-baseline"
+    print(
+        f"simcheck: {len(stale)} baseline entr(y/ies) no longer match "
+        "— the findings were fixed. Ratchet them out by rerunning:\n"
+        f"    {command}\n"
+        "which will drop exactly these entries:"
+    )
+    for rule, path, line in stale:
+        print(f"    - {rule} @ {path}: {line!r}")
 
 
 if __name__ == "__main__":

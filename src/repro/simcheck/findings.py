@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass
+from typing import Sequence
 
 #: Every rule simcheck knows, with the one-line rationale shown by
-#: ``--list-rules`` (the long form lives in docs/DETERMINISM.md).
+#: ``--list-rules`` (the long form lives in docs/SIMCHECK.md).
 RULES: dict[str, str] = {
     "DET001": (
         "wall-clock read (time.time/monotonic/perf_counter, datetime.now, "
@@ -38,7 +40,7 @@ RULES: dict[str, str] = {
     ),
     "LAY001": (
         "module dependency DAG violation; see the layer table in "
-        "docs/DETERMINISM.md"
+        "docs/SIMCHECK.md"
     ),
     "LAY002": (
         "telemetry imports the simulation kernel (sim.kernel/sim.rng/"
@@ -57,6 +59,42 @@ RULES: dict[str, str] = {
         "mutating method call inside a telemetry instrument argument; "
         "disabling telemetry must not change program state"
     ),
+    "PERF001": (
+        "nested iteration over node/link/flow/clique collections on a "
+        "hot-path function where the inner iterable is independent of "
+        "the outer loop — latent O(n^2); precompute an index "
+        "(e.g. topology.cliques.clique_index_positions)"
+    ),
+    "PERF002": (
+        "loop-invariant recomputation on a hot path: a derive/build/"
+        "cliques-style call inside a loop whose arguments do not depend "
+        "on the loop — hoist it out or maintain it incrementally"
+    ),
+    "PERF003": (
+        "list/dict/set allocation inside nested collection loops on a "
+        "hot-path function; the container is rebuilt per element per "
+        "event — hoist or reuse it"
+    ),
+    "UNIT001": (
+        "arithmetic mixes dimensions (seconds vs bits vs bits/second) "
+        "inferred from repro.units constructors and parameter names; "
+        "convert explicitly before combining"
+    ),
+    "UNIT002": (
+        "bare numeric literal passed to a rate-dimensioned parameter; "
+        "spell it with a units constant (e.g. 11 * MBPS) so the "
+        "magnitude is auditable"
+    ),
+    "PAR001": (
+        "lambda or locally-defined callable handed to a process-pool "
+        "dispatch; it cannot be pickled across the worker boundary — "
+        "use a module-level function"
+    ),
+    "PAR002": (
+        "write to module-level mutable state from code reachable inside "
+        "a pool worker; workers get a copy, the parent never sees the "
+        "write — return results instead"
+    ),
 }
 
 
@@ -70,10 +108,39 @@ class Finding:
     col: int
     message: str
     source_line: str  # stripped text of the offending line
+    via: str = ""  # call-chain evidence (whole-program rules only)
 
     def key(self) -> tuple[str, str, str]:
-        """Baseline identity: stable across unrelated line-number churn."""
+        """Baseline identity: stable across unrelated line-number churn
+        (and across call-chain churn — ``via`` is evidence, not identity)."""
         return (self.rule, self.path, self.source_line)
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.via:
+            text += f"\n    via {self.via}"
+        return text
+
+
+def finding_at(
+    rule: str,
+    node: ast.AST,
+    *,
+    path: str,
+    lines: Sequence[str],
+    message: str,
+    via: str = "",
+) -> Finding:
+    """Build a Finding anchored at an AST node of a known file."""
+    lineno = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    source = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+    return Finding(
+        rule=rule,
+        path=path,
+        line=lineno,
+        col=col + 1,
+        message=message,
+        source_line=source,
+        via=via,
+    )

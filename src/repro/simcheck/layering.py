@@ -24,6 +24,7 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
     "errors": set(),
     "units": set(),
     "simcheck": {"errors"},
+    "check": {"errors", "simcheck"},
     "telemetry": {"errors", "units", "sim.trace"},
     "sim": {"errors", "units", "telemetry"},
     "topology": {"errors", "units", "sim.rng"},

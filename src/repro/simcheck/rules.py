@@ -1,32 +1,46 @@
-"""The AST pass behind ``python -m repro.simcheck``.
+"""The analysis passes behind ``python -m repro.simcheck``.
 
-One walk per file, three rule families (determinism, layering,
-passivity); see :data:`repro.simcheck.findings.RULES` for the
-catalogue and docs/DETERMINISM.md for the rationale behind each rule.
+Two layers share one parse of the tree:
 
-The checker is purely syntactic — it resolves import aliases
-(``import time as _time`` still trips DET001) but does no type
-inference, so it flags *expressions that are sets* (literals,
-``set()``/``frozenset()`` calls, comprehensions, and set-operator
-combinations of those), not variables that merely happen to hold sets.
-That keeps it fast, zero-dependency, and free of false positives on
-ordinary code; the runtime replay sanitizer (:mod:`repro.sim.replay`)
-is the dynamic backstop for what a syntactic pass cannot see.
+* a **per-file** AST walk (determinism, layering, passivity — the
+  PR 3 rules; see :data:`repro.simcheck.findings.RULES` and
+  docs/SIMCHECK.md), and
+* a **whole-program** pass over the call graph built by
+  :mod:`repro.simcheck.callgraph` (hot-path complexity, unit/dimension
+  mixing, pool-worker safety — the PERF/UNIT/PAR families in
+  :mod:`repro.simcheck.perf_rules` / ``unit_rules`` / ``par_rules``).
+
+Both layers are purely syntactic — import aliases are resolved
+(``import time as _time`` still trips DET001) but there is no real
+type inference, so rules flag *expressions that are sets*, *names
+that read as rates*, *calls the graph can actually resolve*.  That
+keeps the tool fast, zero-dependency, and conservative; the runtime
+replay sanitizer (:mod:`repro.sim.replay`) is the dynamic backstop
+for what a syntactic pass cannot see.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.simcheck.callgraph import (
+    AliasTable,
+    ModuleInfo,
+    Program,
+    build_program,
+    parse_module,
+)
 from repro.simcheck.findings import Finding
 from repro.simcheck.layering import (
     KERNEL_SUBMODULES,
     SCHEDULING_CALLS,
     import_allowed,
 )
+from repro.simcheck.par_rules import check_program_par
+from repro.simcheck.perf_rules import check_program_perf
+from repro.simcheck.unit_rules import check_module_units
 
 #: Wall-clock reads (dotted, alias-resolved) flagged by DET001.
 _WALL_CLOCK_CALLS = {
@@ -99,87 +113,7 @@ _TELEMETRY_TOKENS = {
     "sanitizer",
 }
 
-_PRAGMA_RE = re.compile(
-    r"#\s*simcheck:\s*(allow-file|allow|module)\b\s*(?:\[([^\]]*)\])?\s*(\S*)"
-)
-
-
-def _parse_pragmas(
-    lines: Sequence[str],
-) -> tuple[dict[int, set[str]], set[str], str | None]:
-    """Extract suppression pragmas and the module override.
-
-    Returns ``(line -> allowed rules, file-wide allowed rules,
-    module override)``; the rule set ``{"*"}`` allows everything.
-    """
-    inline: dict[int, set[str]] = {}
-    filewide: set[str] = set()
-    module_override: str | None = None
-    for lineno, text in enumerate(lines, start=1):
-        match = _PRAGMA_RE.search(text)
-        if match is None:
-            continue
-        kind, rules_text, tail = match.groups()
-        if kind == "module":
-            module_override = tail or None
-            continue
-        rules = {part.strip() for part in (rules_text or "*").split(",")}
-        rules.discard("")
-        if kind == "allow":
-            inline.setdefault(lineno, set()).update(rules)
-        else:
-            filewide.update(rules)
-    return inline, filewide, module_override
-
-
-def _module_path_for(path: Path) -> str | None:
-    """Dotted path relative to the ``repro`` package, or None when the
-    file does not live under one (fixtures use a pragma instead)."""
-    parts = list(path.parts)
-    if "repro" not in parts:
-        return None
-    rel = parts[parts.index("repro") + 1 :]
-    if not rel:
-        return None
-    rel[-1] = rel[-1].removesuffix(".py")
-    return ".".join(rel)
-
-
-class _AliasTable:
-    """Alias-resolved dotted names for imports in one file."""
-
-    def __init__(self) -> None:
-        self._names: dict[str, str] = {}
-
-    def visit_import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._names[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
-
-    def visit_import_from(self, node: ast.ImportFrom) -> None:
-        if node.module is None or node.level:
-            return
-        for alias in node.names:
-            self._names[alias.asname or alias.name] = (
-                f"{node.module}.{alias.name}"
-            )
-
-    def resolve(self, node: ast.expr) -> str | None:
-        """Dotted source path of a Name/Attribute chain, or None."""
-        chain: list[str] = []
-        current = node
-        while isinstance(current, ast.Attribute):
-            chain.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            return None
-        base = self._names.get(current.id, current.id)
-        chain.append(base)
-        return ".".join(reversed(chain))
-
-
-def _is_set_expr(node: ast.expr, aliases: _AliasTable) -> bool:
+def _is_set_expr(node: ast.expr, aliases: AliasTable) -> bool:
     """Is this expression syntactically a set?"""
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -221,7 +155,7 @@ class _FileChecker(ast.NodeVisitor):
         self.module = module
         self.module_top = module.split(".")[0] if module else None
         self.known_modules = known_modules
-        self.aliases = _AliasTable()
+        self.aliases = AliasTable()
         self.findings: list[Finding] = []
         # numpy-RNG rule exempts the one module whose job is seeding.
         self.is_rng_module = module == "sim.rng"
@@ -262,7 +196,7 @@ class _FileChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        self.aliases.visit_import_from(node)
+        self.aliases.visit_import_from(node, self.module)
         module = node.module or ""
         top = module.split(".")[0]
         if top == "random":
@@ -460,39 +394,70 @@ class _FileChecker(ast.NodeVisitor):
             )
 
 
+def _apply_pragmas(
+    findings: Iterable[Finding], module: ModuleInfo
+) -> list[Finding]:
+    """Drop findings suppressed by the module's pragmas."""
+    kept: list[Finding] = []
+    for finding in findings:
+        allowed = (
+            module.inline_pragmas.get(finding.line, set())
+            | module.filewide_pragmas
+        )
+        if "*" in allowed or finding.rule in allowed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _check_modules(
+    modules: list[ModuleInfo], extra_known: set[str] | None = None
+) -> tuple[list[Finding], Program]:
+    """Run every rule layer over the already-parsed modules."""
+    program = build_program(modules)
+    known = {m.module for m in modules if m.module_declared}
+    known |= extra_known or set()
+    findings: list[Finding] = []
+    by_path: dict[str, ModuleInfo] = {}
+    for module in modules:
+        by_path[module.display_path] = module
+        checker = _FileChecker(
+            module.path,
+            module.display_path,
+            module.lines,
+            module.module if module.module_declared else None,
+            known,
+        )
+        checker.visit(module.tree)
+        findings.extend(
+            _apply_pragmas(
+                checker.findings + check_module_units(module, program),
+                module,
+            )
+        )
+    for finding in check_program_perf(program) + check_program_par(program):
+        module = by_path.get(finding.path)
+        if module is None or _apply_pragmas([finding], module):
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, program
+
+
 def check_file(
     path: Path,
     *,
     display_path: str | None = None,
     known_modules: set[str] | None = None,
 ) -> list[Finding]:
-    """Run every rule over one file; suppressions already applied."""
-    text = path.read_text(encoding="utf-8")
-    lines = text.splitlines()
-    inline, filewide, module_override = _parse_pragmas(lines)
-    if module_override is not None:
-        module = module_override.removeprefix("repro.")
-    else:
-        module = _module_path_for(path)
-    checker = _FileChecker(
-        path,
-        display_path or path.as_posix(),
-        lines,
-        module,
-        known_modules or set(),
-    )
-    try:
-        tree = ast.parse(text, filename=str(path))
-    except SyntaxError as error:
-        raise SyntaxError(f"{path}: {error}") from error
-    checker.visit(tree)
-    kept = []
-    for finding in checker.findings:
-        allowed = inline.get(finding.line, set()) | filewide
-        if "*" in allowed or finding.rule in allowed:
-            continue
-        kept.append(finding)
-    return kept
+    """Run every rule over one file (single-module program);
+    suppressions already applied.
+
+    ``known_modules`` augments the layering pass's view of which
+    ``repro`` submodules exist (directory runs compute it themselves).
+    """
+    module = parse_module(path, display_path=display_path)
+    findings, _ = _check_modules([module], extra_known=known_modules)
+    return findings
 
 
 def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -506,30 +471,29 @@ def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
     return files
 
 
-def check_paths(
+def analyze_paths(
     paths: Iterable[str | Path], *, root: Path | None = None
-) -> list[Finding]:
-    """Check every ``.py`` file under ``paths``.
+) -> tuple[list[Finding], Program]:
+    """Check every ``.py`` file under ``paths`` and return the findings
+    together with the annotated call-graph :class:`Program`.
 
     ``root`` (default: CWD) anchors the repo-relative display paths so
     baseline entries do not depend on where the tool is invoked from.
     """
     root = (root or Path.cwd()).resolve()
-    files = _collect_files(paths)
-    known = {
-        mod
-        for file in files
-        if (mod := _module_path_for(file)) is not None
-    }
-    findings: list[Finding] = []
-    for file in files:
+    modules: list[ModuleInfo] = []
+    for file in _collect_files(paths):
         resolved = file.resolve()
         try:
             display = resolved.relative_to(root).as_posix()
         except ValueError:
             display = file.as_posix()
-        findings.extend(
-            check_file(file, display_path=display, known_modules=known)
-        )
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+        modules.append(parse_module(file, display_path=display))
+    return _check_modules(modules)
+
+
+def check_paths(
+    paths: Iterable[str | Path], *, root: Path | None = None
+) -> list[Finding]:
+    """Check every ``.py`` file under ``paths`` (findings only)."""
+    return analyze_paths(paths, root=root)[0]

@@ -15,6 +15,7 @@ node id appearing in the clique plus a sequence number (paper §6.3).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.topology.contention import ContentionGraph
@@ -103,8 +104,24 @@ def link_clique_index(
     (water-filling, traversal counting) build this once instead of
     scanning every clique per link; ids are in clique order.
     """
-    lists: dict[Link, list[tuple[int, int]]] = {}
+    lists: dict[Link, list[tuple[int, int]]] = defaultdict(list)
     for clique in cliques:
         for a_link in clique.sorted_links():
-            lists.setdefault(a_link, []).append(clique.clique_id)
+            lists[a_link].append(clique.clique_id)
     return {a_link: tuple(ids) for a_link, ids in lists.items()}
+
+
+def clique_index_positions(cliques: list[Clique]) -> dict[Link, tuple[int, ...]]:
+    """Map each canonical link to the *positions* (indices into
+    ``cliques``) of the cliques containing it, ascending.
+
+    This is the index behind the hot-path water-filling: looking a
+    directed link up here (after canonicalizing) yields exactly the
+    tuple that scanning ``enumerate(cliques)`` with ``a_link in
+    clique`` would, without the per-link O(cliques) rescan.
+    """
+    positions: dict[Link, list[int]] = defaultdict(list)
+    for index, clique in enumerate(cliques):
+        for member in clique.sorted_links():
+            positions[member].append(index)
+    return {a_link: tuple(ids) for a_link, ids in positions.items()}

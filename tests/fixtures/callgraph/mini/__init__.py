@@ -1,0 +1,5 @@
+# simcheck: module mini.__init__
+from mini.driver import Driver
+from mini.shrink import shrink
+
+__all__ = ["Driver", "shrink"]

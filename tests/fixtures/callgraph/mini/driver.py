@@ -1,0 +1,22 @@
+# simcheck: module mini.driver
+from mini.metrics import measure
+
+
+class Base:
+    def poll(self):
+        return 0
+
+
+class Child(Base):
+    pass
+
+
+class Driver:
+    def __init__(self, sim):
+        self.sim = sim
+        self.child = Child()
+        self.sim.every(1.0, self._tick)
+
+    def _tick(self):
+        self.child.poll()
+        return measure(3)

@@ -1,0 +1,11 @@
+# simcheck: module mini.metrics
+
+
+def measure(depth):
+    return helper(depth)
+
+
+def helper(depth):
+    if depth <= 0:
+        return 0
+    return measure(depth - 1)

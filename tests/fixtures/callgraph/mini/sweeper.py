@@ -1,0 +1,10 @@
+# simcheck: module mini.sweeper
+from mini.metrics import measure
+
+
+def simulate(point):
+    return measure(point)
+
+
+def run_points(pool, points):
+    return pool.map(simulate, points)

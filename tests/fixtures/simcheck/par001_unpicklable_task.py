@@ -1,0 +1,12 @@
+"""PAR001: locals handed across the worker boundary."""
+
+
+def run_lambda(pool, points):
+    return pool.map(lambda point: point * 2, points)
+
+
+def run_local(pool, points):
+    def simulate(point):
+        return point * 2
+
+    return pool.map(simulate, points)

@@ -1,0 +1,15 @@
+"""PAR002: worker-side writes to module-level state."""
+
+RESULTS = []
+TOTAL = 0
+
+
+def simulate(point):
+    global TOTAL
+    TOTAL = TOTAL + point
+    RESULTS.append(point)
+    return point
+
+
+def run(pool, points):
+    return pool.map(simulate, points)

@@ -1,0 +1,16 @@
+"""PERF001: inner loop rescans a collection independent of the outer."""
+
+
+class Monitor:
+    def __init__(self, sim, nodes, links):
+        self.sim = sim
+        self.nodes = nodes
+        self.links = links
+        self.sim.every(1.0, self._round)
+
+    def _round(self):
+        total = 0
+        for node in self.nodes:
+            for link in self.links:
+                total += link[0] + node
+        return total

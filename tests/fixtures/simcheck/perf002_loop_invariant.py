@@ -1,0 +1,20 @@
+"""PERF002: loop-invariant recomputation inside a hot loop."""
+
+
+def build_cliques(graph):
+    return [graph]
+
+
+class Planner:
+    def __init__(self, sim, graph, flows):
+        self.sim = sim
+        self.graph = graph
+        self.flows = flows
+        self.sim.every(1.0, self._round)
+
+    def _round(self):
+        totals = []
+        for flow in self.flows:
+            cliques = build_cliques(self.graph)
+            totals.append(len(cliques) + flow)
+        return totals

@@ -1,0 +1,17 @@
+"""PERF003: container allocated inside nested collection loops."""
+
+
+class Auditor:
+    def __init__(self, sim, nodes):
+        self.sim = sim
+        self.nodes = nodes
+        self.sim.every(1.0, self._tick)
+
+    def _tick(self):
+        busy = 0
+        for node in self.nodes:
+            for neighbor in node.peers:
+                scratch = []
+                scratch.append(neighbor)
+                busy += len(scratch)
+        return busy

@@ -1,0 +1,9 @@
+"""UNIT001: adding seconds to bits/second."""
+
+from repro.units import MBPS, SECONDS
+
+
+def window():
+    interval = 2 * SECONDS
+    speed = 11 * MBPS
+    return interval + speed

@@ -1,0 +1,11 @@
+"""UNIT002: bare large literals passed to rate-dimensioned parameters."""
+
+
+def configure(data_rate, label):
+    return (data_rate, label)
+
+
+def scenario():
+    keyword = configure(data_rate=11000000.0, label="phy")
+    positional = configure(2000000, "basic")
+    return (keyword, positional)

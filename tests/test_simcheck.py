@@ -27,6 +27,13 @@ EXPECTED = {
     "lay003_telemetry_schedule.py": {("LAY003", 6)},
     "pas001_walrus.py": {("PAS001", 5)},
     "pas002_mutation.py": {("PAS002", 5)},
+    "perf001_nested_scan.py": {("PERF001", 14)},
+    "perf002_loop_invariant.py": {("PERF002", 18)},
+    "perf003_alloc_in_loop.py": {("PERF003", 14)},
+    "unit001_dimension_mix.py": {("UNIT001", 9)},
+    "unit002_bare_rate_literal.py": {("UNIT002", 9), ("UNIT002", 10)},
+    "par001_unpicklable_task.py": {("PAR001", 5), ("PAR001", 12)},
+    "par002_worker_global_write.py": {("PAR002", 9), ("PAR002", 10)},
     "clean.py": set(),
 }
 
@@ -52,6 +59,38 @@ def test_committed_tree_is_clean_against_committed_baseline():
     match = match_baseline(findings, baseline)
     assert match.new == [], [f.render() for f in match.new]
     assert match.stale == []
+
+
+def test_injected_nested_node_loop_in_fluid_is_caught(tmp_path):
+    """Regression guard for the whole-program pass: planting a latent
+    O(n^2) scan inside FluidMac's scheduled round must raise PERF001
+    with the call chain from the ``sim.every`` registration."""
+    source = (REPO_ROOT / "src" / "repro" / "mac" / "fluid.py").read_text()
+    needle = "    def _round(self) -> None:\n"
+    assert needle in source
+    injected = needle + (
+        "        for node in self.nodes:\n"
+        "            for link in self.links:\n"
+        "                _ = (node, link)\n"
+    )
+    path = tmp_path / "fluid.py"
+    path.write_text(source.replace(needle, injected))
+    findings = [f for f in check_file(path) if f.rule == "PERF001"]
+    assert findings, "injected nested collection loop was not caught"
+    assert any("every@" in f.via and "_round" in f.via for f in findings)
+
+
+def test_injected_lambda_into_sweep_dispatch_is_caught(tmp_path):
+    source = (
+        REPO_ROOT / "src" / "repro" / "scenarios" / "sweep.py"
+    ).read_text()
+    needle = "pool.map(_worker, args)"
+    assert needle in source
+    path = tmp_path / "sweep.py"
+    path.write_text(
+        source.replace(needle, "pool.map(lambda a: _worker(a), args)")
+    )
+    assert any(f.rule == "PAR001" for f in check_file(path))
 
 
 def test_baseline_ratchet_new_grandfathered_stale():

@@ -1,0 +1,95 @@
+"""Call-graph builder: module naming, hot/worker classification,
+cycles, method resolution through bases, re-export chains (including
+the symbol-shadows-module pattern), and the graph export."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simcheck.callgraph import build_program, parse_module, write_graph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MINI = REPO_ROOT / "tests" / "fixtures" / "callgraph" / "mini"
+
+
+@pytest.fixture(scope="module")
+def program():
+    modules = [parse_module(path) for path in sorted(MINI.glob("*.py"))]
+    return build_program(modules)
+
+
+def test_modules_named_by_pragma(program):
+    assert set(program.modules) == {
+        "mini.__init__",
+        "mini.driver",
+        "mini.metrics",
+        "mini.shrink",
+        "mini.sweeper",
+    }
+    assert all(m.module_declared for m in program.modules.values())
+
+
+def test_scheduling_registration_makes_the_callee_hot(program):
+    assert "mini.driver.Driver._tick" in program.hot_chains
+    chain = program.hot_chains["mini.driver.Driver._tick"]
+    assert chain[0].startswith("every@")
+    assert chain[-1] == "mini.driver.Driver._tick"
+    # The registrar itself is not hot; neither is the sweep dispatcher.
+    assert "mini.driver.Driver.__init__" not in program.hot_chains
+    assert "mini.sweeper.run_points" not in program.hot_chains
+
+
+def test_hotness_propagates_across_modules_and_cycles(program):
+    # _tick -> measure (cross-module import), measure <-> helper (cycle):
+    # propagation terminates and classifies both cycle members.
+    assert "mini.metrics.measure" in program.hot_chains
+    assert "mini.metrics.helper" in program.hot_chains
+    chain = program.hot_chains["mini.metrics.helper"]
+    assert "mini.driver.Driver._tick" in chain
+
+
+def test_method_resolution_through_base_class(program):
+    assert (
+        program.method_on("mini.driver.Child", "poll")
+        == "mini.driver.Base.poll"
+    )
+    # self.child = Child(); self.child.poll() on the hot path resolves
+    # to the inherited implementation.
+    assert "mini.driver.Base.poll" in program.hot_chains
+
+
+def test_reexport_resolves_through_package_init(program):
+    assert program.resolve_symbol("mini.Driver") == "mini.driver.Driver"
+
+
+def test_symbol_shadowing_its_module_terminates(program):
+    # `from mini.shrink import shrink` makes the alias target contain
+    # its own name; resolution must neither recurse forever nor grow
+    # the candidate string.
+    assert program.resolve_symbol("mini.shrink") == "mini.shrink.shrink"
+    assert program.resolve_symbol("mini.shrink.shrink.shrink.shrink") is None
+
+
+def test_pool_dispatch_makes_the_task_a_worker(program):
+    assert "mini.sweeper.simulate" in program.worker_chains
+    assert program.worker_chains["mini.sweeper.simulate"][0].startswith("map@")
+    # Workers' callees are worker-reachable too.
+    assert "mini.metrics.measure" in program.worker_chains
+
+
+def test_graph_export_json_and_dot(program, tmp_path):
+    json_path = tmp_path / "graph.json"
+    write_graph(program, json_path)
+    data = json.loads(json_path.read_text())
+    by_name = {f["qualname"]: f for f in data["functions"]}
+    assert by_name["mini.driver.Driver._tick"]["hot"]
+    assert by_name["mini.sweeper.simulate"]["worker"]
+    assert not by_name["mini.sweeper.run_points"]["hot"]
+    assert data["hot_roots"] and data["worker_roots"]
+
+    dot_path = tmp_path / "graph.dot"
+    write_graph(program, dot_path)
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph")
+    assert '"mini.metrics.measure" -> "mini.metrics.helper"' in dot
