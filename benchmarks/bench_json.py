@@ -1,8 +1,10 @@
 """Generate the machine-readable benchmark artifact (``BENCH_<n>.json``).
 
-Runs the pytest-benchmark suite in :mod:`benchmarks.test_performance`
-plus a sweep-engine demonstration (serial vs. sharded vs. cached), and
-writes one JSON file combining both.  Optionally folds in a *reference*
+Runs the pytest-benchmark suite in :mod:`benchmarks.test_performance`,
+a sweep-engine demonstration (serial vs. sharded vs. cached), and the
+city-scale scaling curve (``scale`` section: pipeline build time and
+fluid sim-seconds per wall-second at n ∈ {100, 300, 1000}), and writes
+one JSON file combining them.  Optionally folds in a *reference*
 pytest-benchmark JSON captured on an earlier revision, computing the
 per-benchmark speedups the PR claims.
 
@@ -128,6 +130,67 @@ def run_sweep_demo(duration: float, seeds: int) -> dict[str, float | int]:
     return demo
 
 
+#: (num_nodes, fluid sim duration in sim-seconds) per scaling point.
+#: Durations shrink with n so the whole section stays ~1 minute: the
+#: metric of interest is the *ratio* sim-seconds per wall-second, which
+#: a short run already measures.
+SCALE_POINTS: tuple[tuple[int, float], ...] = ((100, 5.0), (300, 2.0), (1000, 0.25))
+
+
+def run_scale_bench(
+    points: tuple[tuple[int, float], ...] = SCALE_POINTS,
+) -> dict[str, dict[str, float | int]]:
+    """Scaling curve vs n: pipeline build time and fluid sim rate.
+
+    For each city-scale scenario this measures (a) the full
+    topology→links→contention→cliques build and (b) a short GMP/fluid
+    run, reported as sim-seconds per wall-second.  The section is
+    informational (rendered by ``repro perftrend``); the *gated* scale
+    number is ``test_scale_build_300`` in the pytest-benchmark suite.
+    """
+    if str(SRC_DIR) not in sys.path:
+        sys.path.insert(0, str(SRC_DIR))
+    from repro.scenarios.runner import run_scenario
+    from repro.scenarios.sweep import SCENARIO_FACTORIES
+    from repro.topology.cliques import maximal_cliques
+    from repro.topology.contention import ContentionGraph
+
+    section: dict[str, dict[str, float | int]] = {}
+    for num_nodes, duration in points:
+        factory = SCENARIO_FACTORIES[f"scale{num_nodes}"]
+        started = time.perf_counter()
+        scenario = factory()
+        links = scenario.topology.undirected_links()
+        cliques = maximal_cliques(ContentionGraph(scenario.topology))
+        build_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_scenario(
+            scenario,
+            protocol="gmp",
+            substrate="fluid",
+            duration=duration,
+            warmup=0.0,
+            seed=1,
+        )
+        sim_wall_s = time.perf_counter() - started
+        section[f"scale{num_nodes}"] = {
+            "nodes": len(scenario.topology),
+            "links": len(links),
+            "cliques": len(cliques),
+            "flows": len(scenario.flows),
+            "build_s": build_s,
+            "sim_duration_s": duration,
+            "sim_wall_s": sim_wall_s,
+            "sim_seconds_per_second": duration / sim_wall_s,
+        }
+        print(
+            f"scale{num_nodes}: build {build_s:.2f}s, "
+            f"{duration / sim_wall_s:.3f} sim-s/s"
+        )
+    return section
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True, help="output JSON path")
@@ -145,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--min-rounds", type=int, default=5)
     parser.add_argument("--skip-sweep", action="store_true")
+    parser.add_argument("--skip-scale", action="store_true")
     parser.add_argument("--sweep-duration", type=float, default=120.0)
     parser.add_argument("--sweep-seeds", type=int, default=8)
     args = parser.parse_args(argv)
@@ -166,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         }
     if not args.skip_sweep:
         artifact["sweep"] = run_sweep_demo(args.sweep_duration, args.sweep_seeds)
+    if not args.skip_scale:
+        artifact["scale"] = run_scale_bench()
 
     out_path = pathlib.Path(args.out)
     out_path.write_text(

@@ -160,3 +160,21 @@ def test_clique_enumeration_dense(benchmark):
 
     count = benchmark(run)
     assert count >= 1
+
+
+def test_scale_build_300(benchmark):
+    """Full 300-node city-scale pipeline build: placement, links,
+    contention graph, maximal cliques.  This is the gated canary for
+    the spatial-index / localized-contention / bitmask-Bron–Kerbosch
+    path — a reintroduced all-pairs scan blows straight through the
+    2x compare_bench threshold."""
+    from repro.scenarios.scale import scale300
+
+    def run():
+        scenario = scale300()
+        scenario.topology.undirected_links()
+        graph = ContentionGraph(scenario.topology)
+        return len(maximal_cliques(graph))
+
+    count = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+    assert count > 1_000

@@ -83,7 +83,12 @@ def _build_scenario(args: argparse.Namespace):
         return figure2(weights=weights)  # type: ignore[arg-type]
     if args.scenario == "figure3":
         return figure3()
-    return figure4()
+    if args.scenario == "figure4":
+        return figure4()
+    # City-scale family (repro.scenarios.scale), e.g. scale300/scale300c.
+    from repro.scenarios.sweep import SCENARIO_FACTORIES
+
+    return SCENARIO_FACTORIES[args.scenario]()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,7 +122,17 @@ def main(argv: list[str] | None = None) -> int:
         return check_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "scenario", choices=("figure1", "figure2", "figure3", "figure4")
+        "scenario",
+        choices=(
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "scale100",
+            "scale300",
+            "scale300c",
+            "scale1000",
+        ),
     )
     parser.add_argument("--protocol", choices=PROTOCOLS, default="gmp")
     parser.add_argument("--substrate", choices=SUBSTRATES, default="fluid")

@@ -81,6 +81,7 @@ class Channel:
         self.sim = sim
         self.topology = topology
         self._radios: dict[int, Radio] = {}
+        self._sensers: dict[int, list[int]] = {}
         self._active: list[_Transmission] = []
         self._transmitting: set[int] = set()
         self._down: set[int] = set()
@@ -144,10 +145,25 @@ class Channel:
             raise MacError(f"radio for node {node_id} already registered")
         self.topology.node(node_id)
         self._radios[node_id] = radio
+        self._sensers.clear()
 
     def is_transmitting(self, node_id: int) -> bool:
         """True while ``node_id`` has a frame on the air."""
         return node_id in self._transmitting
+
+    def _sensing_radios(self, sender: int) -> list[int]:
+        """Registered nodes that sense (equivalently: whose receptions
+        are corrupted by) ``sender``'s transmissions, in registration
+        order — the order busy/decode callbacks fire in, so it is part
+        of the replay digest and must not change.  Cached per sender
+        (cleared on :meth:`register`): this runs for every frame on
+        the air, and used to rescan every registered radio."""
+        cached = self._sensers.get(sender)
+        if cached is None:
+            members = self.topology.sensing_nodes(sender)
+            cached = [node_id for node_id in self._radios if node_id in members]
+            self._sensers[sender] = cached
+        return cached
 
     def transmit(self, sender: int, frame: Frame) -> None:
         """Put ``frame`` on the air from ``sender``.
@@ -173,11 +189,8 @@ class Channel:
         for other in self._active:
             # The new transmission corrupts receptions of `other` at all
             # nodes the new sender interferes with, and vice versa.
-            for node_id in self._radios:
-                if self.topology.interferes(sender, node_id):
-                    other.corrupted_at.add(node_id)
-                if self.topology.interferes(other.sender, node_id):
-                    transmission.corrupted_at.add(node_id)
+            other.corrupted_at.update(self._sensing_radios(sender))
+            transmission.corrupted_at.update(self._sensing_radios(other.sender))
             # A transmitting node cannot receive.
             other.corrupted_at.add(sender)
             transmission.corrupted_at.add(other.sender)
@@ -192,11 +205,7 @@ class Channel:
         # pairs must stay balanced even when the node crashes or
         # recovers mid-frame, so gating on `down` happens at decode
         # time, not here.
-        sensing = [
-            node_id
-            for node_id in self._radios
-            if self.topology.senses(sender, node_id)
-        ]
+        sensing = self._sensing_radios(sender)
         for node_id in sensing:
             self._radios[node_id].on_busy_start()
         self.sim.call_at(

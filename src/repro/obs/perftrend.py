@@ -54,6 +54,7 @@ class BenchPoint:
     benchmarks: dict[str, dict[str, float]]
     speedups: dict[str, float] = field(default_factory=dict)
     sweep: dict[str, float] = field(default_factory=dict)
+    scale: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -109,6 +110,7 @@ def load_trend(
                 benchmarks=benchmarks,
                 speedups=dict(payload.get("speedups", {})),
                 sweep=dict(payload.get("sweep", {})),
+                scale=dict(payload.get("scale", {})),
             )
         )
     points.sort(key=lambda p: (p.order, p.path))
@@ -180,6 +182,11 @@ def trend_json(report: TrendReport) -> dict[str, Any]:
     }
     if sweep:
         payload["sweep"] = sweep
+    scale = {
+        point.label: point.scale for point in report.points if point.scale
+    }
+    if scale:
+        payload["scale"] = scale
     if report.fidelity:
         counts = _fidelity_counts(report.fidelity)
         total = sum(counts.values())
@@ -268,6 +275,45 @@ def render_trend(report: TrendReport) -> str:
                 continue
             cells = " | ".join(_format_cell(v, "{:.2f}") for v in values)
             lines.append(f"| {label} | {cells} |")
+
+    scale_points = [point for point in report.points if point.scale]
+    if scale_points:
+        lines.append("")
+        lines.append("## Scaling vs N")
+        lines.append("")
+        lines.append(
+            "Pipeline build (topology→links→contention→cliques) and "
+            "fluid-substrate throughput at each city-scale point."
+        )
+        lines.append("")
+
+        def _nodes(name: str) -> int:
+            for point in scale_points:
+                entry = point.scale.get(name)
+                if entry and isinstance(entry.get("nodes"), (int, float)):
+                    return int(entry["nodes"])
+            return 0
+
+        names = sorted(
+            {name for point in scale_points for name in point.scale},
+            key=_nodes,
+        )
+        header = "| scenario | nodes |"
+        divider = "|---|---|"
+        for point in scale_points:
+            header += f" {point.label} build (s) | {point.label} sim-s/s |"
+            divider += "---|---|"
+        lines.append(header)
+        lines.append(divider)
+        for name in names:
+            row = f"| {name} | {_nodes(name) or '—'} |"
+            for point in scale_points:
+                entry = point.scale.get(name, {})
+                row += (
+                    f" {_format_cell(entry.get('build_s'), '{:.2f}')} |"
+                    f" {_format_cell(entry.get('sim_seconds_per_second'))} |"
+                )
+            lines.append(row)
 
     if report.fidelity:
         counts = _fidelity_counts(report.fidelity)

@@ -1,0 +1,163 @@
+"""City-scale scenario family (ROADMAP item 1).
+
+The paper's evaluation figures stop at ~15 nodes; this module provides
+seeded scenarios at 10²–10³ nodes so the substrate's scaling behavior
+is exercised end-to-end: uniformly random placements near the
+Gupta–Kumar connectivity threshold and clustered (cluster-tree)
+placements with a grid backbone, both carrying a Poisson-sized
+population of unicast flows at the paper's desirable rate.
+
+Scenario construction is fully deterministic given the seed: node
+placement draws through the topology builders' named RNG streams and
+the flow population through ``scale.flows``, so the same factory
+always yields byte-identical scenarios (the sweep cache and the
+benchmark suite both rely on this).
+
+The named factories (``scale100``, ``scale300``, ``scale1000``,
+``scale300c``) are registered in the sweep engine's
+``SCENARIO_FACTORIES`` and addressable from the CLI like any paper
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.flows.flow import Flow, FlowSet
+from repro.scenarios.figures import (
+    PAPER_DESIRED_RATE,
+    PAPER_PACKET_BYTES,
+    Scenario,
+)
+from repro.sim.rng import RngRegistry
+from repro.topology.builders import (
+    clustered_topology,
+    random_topology,
+    relay_count,
+)
+from repro.topology.network import DEFAULT_CS_RANGE, DEFAULT_TX_RANGE
+
+#: Named stream for the flow population draw.
+FLOW_STREAM = "scale.flows"
+
+#: Target mean connectivity degree for random placements.  Random
+#: geometric graphs connect w.h.p. once the mean degree clears
+#: ``ln n`` (the Gupta–Kumar threshold — ~6.9 at n=1000); 9 keeps the
+#: first draw connected most of the time while staying sparse enough
+#: to be city-like.
+DEFAULT_MEAN_DEGREE = 9.0
+
+#: Mean flows per node for the Poisson flow-population draw.
+DEFAULT_FLOWS_PER_NODE = 0.05
+
+
+def scale_scenario(
+    num_nodes: int,
+    *,
+    seed: int = 7,
+    clustered: bool = False,
+    mean_degree: float = DEFAULT_MEAN_DEGREE,
+    flows_per_node: float = DEFAULT_FLOWS_PER_NODE,
+    name: str | None = None,
+) -> Scenario:
+    """A seeded city-scale scenario with ``num_nodes`` nodes.
+
+    Random mode sizes the square deployment area so the expected
+    connectivity degree is ``mean_degree`` (area = ``n·π·tx² /
+    mean_degree``); the builder redraws/densifies until connected.
+    Clustered mode builds a cluster-tree of ~25-node clusters on a
+    grid backbone (connected by construction).
+
+    The flow count is ``max(1, Poisson(num_nodes · flows_per_node))``;
+    each flow's source and destination are distinct uniform node
+    draws.  All flows want the paper's desirable rate (§7) with unit
+    weight.
+
+    Raises:
+        ConfigError: on a non-positive node count or rates.
+    """
+    if num_nodes < 2:
+        raise ConfigError(f"scale scenarios need >= 2 nodes, got {num_nodes}")
+    if mean_degree <= 0 or flows_per_node <= 0:
+        raise ConfigError(
+            f"mean_degree ({mean_degree}) and flows_per_node "
+            f"({flows_per_node}) must be positive"
+        )
+    if clustered:
+        # Budget ~15 nodes per cluster including that cluster's share
+        # of backbone relays, then size clusters with what remains.
+        num_clusters = max(2, num_nodes // 15)
+        relays = relay_count(num_clusters, 800.0, 220.0)
+        cluster_size = max(2, round((num_nodes - relays) / num_clusters))
+        topology = clustered_topology(
+            num_clusters,
+            cluster_size,
+            seed=seed,
+            tx_range=DEFAULT_TX_RANGE,
+            cs_range=DEFAULT_CS_RANGE,
+        )
+    else:
+        side = math.sqrt(
+            num_nodes * math.pi * DEFAULT_TX_RANGE**2 / mean_degree
+        )
+        topology = random_topology(
+            num_nodes,
+            width=side,
+            height=side,
+            seed=seed,
+            tx_range=DEFAULT_TX_RANGE,
+            cs_range=DEFAULT_CS_RANGE,
+        )
+
+    rng = RngRegistry(seed).stream(FLOW_STREAM)
+    node_ids = topology.node_ids
+    count = max(1, int(rng.poisson(len(node_ids) * flows_per_node)))
+    flows = FlowSet()
+    for flow_id in range(1, count + 1):
+        source = int(node_ids[int(rng.integers(len(node_ids)))])
+        destination = source
+        while destination == source:
+            destination = int(node_ids[int(rng.integers(len(node_ids)))])
+        flows.add(
+            Flow(
+                flow_id=flow_id,
+                source=source,
+                destination=destination,
+                weight=1.0,
+                desired_rate=PAPER_DESIRED_RATE,
+                packet_bytes=PAPER_PACKET_BYTES,
+            )
+        )
+
+    kind = "clustered" if clustered else "random"
+    return Scenario(
+        name=name or f"scale{num_nodes}{'c' if clustered else ''}",
+        topology=topology,
+        flows=flows,
+        notes=(
+            f"city-scale {kind} topology: {len(node_ids)} nodes, "
+            f"{len(flows)} Poisson-population flows, seed {seed}"
+        ),
+    )
+
+
+def scale100() -> Scenario:
+    """100-node seeded random city-scale scenario."""
+    return scale_scenario(100, seed=7)
+
+
+def scale300() -> Scenario:
+    """300-node seeded random city-scale scenario (CI scale smoke)."""
+    return scale_scenario(300, seed=7)
+
+
+def scale1000() -> Scenario:
+    """1000-node seeded random city-scale scenario (the < 5 s
+    links+contention+cliques build target)."""
+    return scale_scenario(1000, seed=7)
+
+
+def scale300c() -> Scenario:
+    """~300-node clustered (cluster-tree) city-scale scenario."""
+    return scale_scenario(300, seed=7, clustered=True)

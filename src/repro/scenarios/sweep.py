@@ -48,16 +48,23 @@ from repro.scenarios.figures import (
     figure4,
 )
 from repro.scenarios.runner import PROTOCOLS, SUBSTRATES, run_scenario
+from repro.scenarios.scale import scale100, scale300, scale300c, scale1000
 
 #: Scenario factories addressable from a sweep grid.  ``figure2w`` is
 #: Figure 2 under Table 2's weights (1, 2, 1, 3) — a separate name so
-#: weighted and unweighted runs never share cache entries.
+#: weighted and unweighted runs never share cache entries.  The
+#: ``scale*`` family (:mod:`repro.scenarios.scale`) provides seeded
+#: city-scale topologies; ``scale300c`` is the clustered variant.
 SCENARIO_FACTORIES = {
     "figure1": figure1,
     "figure2": figure2,
     "figure2w": figure2_weighted,
     "figure3": figure3,
     "figure4": figure4,
+    "scale100": scale100,
+    "scale300": scale300,
+    "scale300c": scale300c,
+    "scale1000": scale1000,
 }
 
 #: Default on-disk cache location (relative to the working directory).

@@ -8,6 +8,7 @@ maximal ("proper") contention cliques.
 
 from repro.topology.builders import (
     chain_topology,
+    clustered_topology,
     grid_topology,
     parallel_chains_topology,
     random_topology,
@@ -18,14 +19,17 @@ from repro.topology.dominating import dominating_set
 from repro.topology.neighbors import one_hop_neighbors, two_hop_neighbors
 from repro.topology.network import Link, Topology, link, reverse
 from repro.topology.node import Node
+from repro.topology.spatial import SpatialIndex
 
 __all__ = [
     "Node",
     "Link",
     "Topology",
+    "SpatialIndex",
     "link",
     "reverse",
     "chain_topology",
+    "clustered_topology",
     "grid_topology",
     "parallel_chains_topology",
     "random_topology",

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.topology.node import Node
+from repro.topology.spatial import SpatialIndex
 
 #: A directed wireless link: (transmitter node id, receiver node id).
 Link = tuple[int, int]
@@ -42,9 +45,13 @@ class Topology:
     """A static multihop wireless network.
 
     Nodes are placed on a plane; undirected connectivity is derived
-    from ``tx_range``.  All distance queries are precomputed once the
-    topology is frozen (first connectivity query), which keeps the hot
-    paths of the MAC simulator cheap.
+    from ``tx_range``.  Range-derived structures (the neighbor map and
+    per-sender sensing sets) are computed once the topology is frozen
+    (first connectivity query) through a uniform-grid spatial index
+    (:class:`~repro.topology.spatial.SpatialIndex`, cell size
+    ``cs_range``), so construction cost is near-linear in the node
+    count at fixed density instead of the historical O(n²) all-pairs
+    scan, and the MAC hot paths see O(1) set lookups.
 
     Args:
         tx_range: decode range in meters.
@@ -68,7 +75,10 @@ class Topology:
         self.cs_range = float(cs_range)
         self._nodes: dict[int, Node] = {}
         self._neighbors: dict[int, frozenset[int]] | None = None
-        self._distances: dict[tuple[int, int], float] = {}
+        self._index: SpatialIndex | None = None
+        self._ids: list[int] = []
+        self._rows: dict[int, int] = {}
+        self._sensing: dict[int, frozenset[int]] = {}
 
     # --- construction -------------------------------------------------------
 
@@ -82,7 +92,11 @@ class Topology:
             raise TopologyError(f"duplicate node id {node_id}")
         node = Node(node_id=node_id, x=float(x), y=float(y))
         self._nodes[node_id] = node
-        self._neighbors = None  # invalidate derived state
+        # Invalidate derived state (neighbor map, spatial index,
+        # sensing-set cache).
+        self._neighbors = None
+        self._index = None
+        self._sensing.clear()
         return node
 
     def add_nodes(self, positions: Iterable[tuple[float, float]]) -> list[Node]:
@@ -119,25 +133,41 @@ class Topology:
             raise TopologyError(f"unknown node {node_id}") from None
 
     def distance(self, i: int, j: int) -> float:
-        """Euclidean distance in meters between nodes ``i`` and ``j``."""
-        key = (i, j) if i <= j else (j, i)
-        cached = self._distances.get(key)
-        if cached is None:
-            cached = self.node(i).distance_to(self.node(j))
-            self._distances[key] = cached
-        return cached
+        """Euclidean distance in meters between nodes ``i`` and ``j``.
+
+        Computed on demand from the coordinates (no O(n²) cache); the
+        range predicates below answer from precomputed sets instead of
+        calling this.
+        """
+        return self.node(i).distance_to(self.node(j))
 
     # --- connectivity -----------------------------------------------------------
 
+    def spatial_index(self) -> SpatialIndex:
+        """The uniform-grid index over current node positions (cell
+        size ``cs_range``), rebuilt lazily after node additions."""
+        if self._index is None:
+            ids = sorted(self._nodes)
+            self._ids = ids
+            self._rows = {node_id: row for row, node_id in enumerate(ids)}
+            xs = np.fromiter(
+                (self._nodes[node_id].x for node_id in ids), float, len(ids)
+            )
+            ys = np.fromiter(
+                (self._nodes[node_id].y for node_id in ids), float, len(ids)
+            )
+            self._index = SpatialIndex(xs, ys, self.cs_range)
+        return self._index
+
     def _neighbor_map(self) -> dict[int, frozenset[int]]:
         if self._neighbors is None:
-            ids = self.node_ids
-            adjacency: dict[int, set[int]] = {node_id: set() for node_id in ids}
-            for index, i in enumerate(ids):
-                for j in ids[index + 1 :]:
-                    if self.distance(i, j) <= self.tx_range:
-                        adjacency[i].add(j)
-                        adjacency[j].add(i)
+            index = self.spatial_index()
+            ids = self._ids
+            adjacency: dict[int, list[int]] = {node_id: [] for node_id in ids}
+            for row_i, row_j in index.pairs(self.tx_range).tolist():
+                i, j = ids[row_i], ids[row_j]
+                adjacency[i].append(j)
+                adjacency[j].append(i)
             self._neighbors = {
                 node_id: frozenset(peers) for node_id, peers in adjacency.items()
             }
@@ -178,12 +208,14 @@ class Topology:
 
     def decodes(self, sender: int, receiver: int) -> bool:
         """True if ``receiver`` can decode frames from ``sender``."""
-        return sender != receiver and self.distance(sender, receiver) <= self.tx_range
+        self.node(receiver)
+        return receiver in self.neighbors(sender)
 
     def senses(self, sender: int, listener: int) -> bool:
         """True if ``listener`` detects channel energy when ``sender``
         transmits (decodable or not)."""
-        return sender != listener and self.distance(sender, listener) <= self.cs_range
+        self.node(listener)
+        return listener in self.sensing_nodes(sender)
 
     def interferes(self, sender: int, receiver: int) -> bool:
         """True if a transmission by ``sender`` corrupts an overlapping
@@ -191,10 +223,21 @@ class Topology:
         return self.senses(sender, receiver)
 
     def sensing_nodes(self, sender: int) -> frozenset[int]:
-        """All nodes that sense ``sender``'s transmissions."""
-        return frozenset(
-            other for other in self.node_ids if self.senses(sender, other)
-        )
+        """All nodes that sense ``sender``'s transmissions.
+
+        Answered from the spatial index and cached per sender — this
+        sits on the MAC hot paths (carrier-sense attribution in both
+        substrates), which used to rescan every node id per call.
+        """
+        cached = self._sensing.get(sender)
+        if cached is None:
+            self.node(sender)
+            index = self.spatial_index()
+            rows = index.ball(self._rows[sender], self.cs_range)
+            ids = self._ids
+            cached = frozenset(ids[row] for row in rows.tolist())
+            self._sensing[sender] = cached
+        return cached
 
     def __iter__(self) -> Iterator[Node]:
         for node_id in self.node_ids:

@@ -1,0 +1,177 @@
+"""Uniform-grid spatial index for range queries over node positions.
+
+City-scale topologies (ROADMAP item 1) made the all-pairs scans in
+:class:`~repro.topology.network.Topology` the dominant construction
+cost: the neighbor map did O(n²) distance checks and the contention
+graph O(L²) pairwise probes.  Both queries are *spatially local* under
+the paper's 2-hop RTS/CTS interference model (§2.1/§3.3) — a node only
+ever interacts with nodes within a fixed radius — so a uniform grid
+with cell size ``cs_range`` answers them by inspecting a constant
+number of candidate cells per node, making construction near-linear in
+n at fixed density.
+
+Exactness: candidate filtering is vectorized numpy on squared
+distances, but every *borderline* candidate (within a 1e-9 relative
+band of the query radius) is confirmed with the same
+:func:`math.hypot` call the brute-force path uses, so results are
+bit-identical to the historical all-pairs scans — including ties at
+exactly the radius.  ``tests/test_topology_spatial.py`` pins this
+equivalence property on seeded random topologies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+#: Relative half-width of the borderline band around the query radius
+#: inside which squared-distance filtering defers to exact math.hypot.
+#: Far wider than the ~2-ulp error of the vectorized d² computation.
+_BAND = 1e-9
+
+
+class SpatialIndex:
+    """Grid buckets over fixed node positions.
+
+    Positions are addressed by *row* (0..n-1); the caller owns the
+    mapping between rows and node ids.  The index is immutable — the
+    topology invalidates and rebuilds it when nodes are added.
+
+    Args:
+        xs, ys: coordinate arrays (meters), one row per node.
+        cell_size: grid cell edge length; queries are cheapest when
+            the common query radius is at most a small multiple of it.
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise TopologyError(f"cell size must be positive: {cell_size}")
+        self.xs = np.asarray(xs, dtype=np.float64)
+        self.ys = np.asarray(ys, dtype=np.float64)
+        if self.xs.shape != self.ys.shape or self.xs.ndim != 1:
+            raise TopologyError("xs and ys must be equal-length 1-D arrays")
+        self.cell_size = float(cell_size)
+        count = len(self.xs)
+        if count:
+            cell_x = np.floor(self.xs / self.cell_size).astype(np.int64)
+            cell_y = np.floor(self.ys / self.cell_size).astype(np.int64)
+        else:
+            cell_x = cell_y = np.zeros(0, dtype=np.int64)
+        self._cell_x = cell_x
+        self._cell_y = cell_y
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for row in range(count):
+            buckets.setdefault(
+                (int(cell_x[row]), int(cell_y[row])), []
+            ).append(row)
+        # Rows within a bucket are ascending (insertion order above).
+        self._buckets = {
+            key: np.asarray(rows, dtype=np.int64)
+            for key, rows in buckets.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    # --- exact range filtering ----------------------------------------------
+
+    def _confirm(
+        self,
+        dx: np.ndarray,
+        dy: np.ndarray,
+        radius: float,
+    ) -> np.ndarray:
+        """Boolean mask: which (dx, dy) offsets lie within ``radius``.
+
+        Vectorized squared-distance comparison away from the radius;
+        exact :func:`math.hypot` on the borderline band, so the mask
+        equals ``math.hypot(dx, dy) <= radius`` everywhere.
+        """
+        d2 = dx * dx + dy * dy
+        lo = (radius * (1.0 - _BAND)) ** 2
+        hi = (radius * (1.0 + _BAND)) ** 2
+        keep = d2 <= lo
+        border = np.flatnonzero((d2 > lo) & (d2 <= hi))
+        for k in border.tolist():
+            keep[k] = math.hypot(float(dx[k]), float(dy[k])) <= radius
+        return keep
+
+    # --- queries ---------------------------------------------------------------
+
+    def _candidate_rows(self, cell: tuple[int, int], reach: int) -> np.ndarray:
+        """Rows in the (2·reach+1)² cell block centered on ``cell``."""
+        blocks = [
+            bucket
+            for dx in range(-reach, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if (bucket := self._buckets.get((cell[0] + dx, cell[1] + dy)))
+            is not None
+        ]
+        if not blocks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(blocks)
+
+    def ball(self, row: int, radius: float) -> np.ndarray:
+        """Rows within ``radius`` of node ``row`` (excluding itself),
+        ascending."""
+        reach = int(math.ceil(radius / self.cell_size))
+        cell = (int(self._cell_x[row]), int(self._cell_y[row]))
+        candidates = self._candidate_rows(cell, reach)
+        dx = self.xs[candidates] - self.xs[row]
+        dy = self.ys[candidates] - self.ys[row]
+        keep = self._confirm(dx, dy, radius)
+        keep &= candidates != row
+        result = candidates[keep]
+        result.sort()
+        return result
+
+    def pairs(self, radius: float) -> np.ndarray:
+        """All unordered row pairs within ``radius``, as an (k, 2)
+        array with ``pair[0] < pair[1]``, lexicographically sorted.
+
+        Each distinct cell pair is visited once (half-space offsets),
+        so no pair is produced twice; within-cell pairs come from the
+        upper triangle.
+        """
+        reach = int(math.ceil(radius / self.cell_size))
+        offsets = [(0, dy) for dy in range(0, reach + 1)] + [
+            (dx, dy)
+            for dx in range(1, reach + 1)
+            for dy in range(-reach, reach + 1)
+        ]
+        firsts: list[np.ndarray] = []
+        seconds: list[np.ndarray] = []
+        for cell in sorted(self._buckets):
+            rows_a = self._buckets[cell]
+            for dx_cell, dy_cell in offsets:
+                if dx_cell == 0 and dy_cell == 0:
+                    if len(rows_a) < 2:
+                        continue
+                    upper_i, upper_j = np.triu_indices(len(rows_a), k=1)
+                    cand_a = rows_a[upper_i]
+                    cand_b = rows_a[upper_j]
+                else:
+                    rows_b = self._buckets.get(
+                        (cell[0] + dx_cell, cell[1] + dy_cell)
+                    )
+                    if rows_b is None:
+                        continue
+                    cand_a = np.repeat(rows_a, len(rows_b))
+                    cand_b = np.tile(rows_b, len(rows_a))
+                dx = self.xs[cand_b] - self.xs[cand_a]
+                dy = self.ys[cand_b] - self.ys[cand_a]
+                keep = self._confirm(dx, dy, radius)
+                if keep.any():
+                    firsts.append(cand_a[keep])
+                    seconds.append(cand_b[keep])
+        if not firsts:
+            return np.zeros((0, 2), dtype=np.int64)
+        left = np.concatenate(firsts)
+        right = np.concatenate(seconds)
+        low = np.minimum(left, right)
+        high = np.maximum(left, right)
+        order = np.lexsort((high, low))
+        return np.column_stack((low[order], high[order]))

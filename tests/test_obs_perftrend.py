@@ -136,3 +136,46 @@ def test_perftrend_main_writes_json_report(tmp_path):
     assert code == 0
     payload = json.loads(out.read_text())
     assert payload["schema"] == "repro-perftrend/1"
+
+
+def _scale_artifact(pr):
+    return {
+        "schema": "repro-bench/2",
+        "schema_version": 2,
+        "pr": pr,
+        "benchmarks": {
+            "test_scale_build_300": {"mean_s": 0.6, "min_s": 0.55, "rounds": 3},
+        },
+        "scale": {
+            "scale100": {
+                "nodes": 100,
+                "build_s": 0.05,
+                "sim_duration_s": 5.0,
+                "sim_wall_s": 0.6,
+                "sim_seconds_per_second": 8.3,
+            },
+            "scale1000": {
+                "nodes": 1000,
+                "build_s": 3.2,
+                "sim_duration_s": 0.25,
+                "sim_wall_s": 18.0,
+                "sim_seconds_per_second": 0.014,
+            },
+        },
+    }
+
+
+def test_render_trend_includes_scaling_vs_n_table(tmp_path):
+    paths = [
+        _write(tmp_path, "BENCH_3.json", _v1_artifact()),  # no scale section
+        _write(tmp_path, "BENCH_9.json", _scale_artifact(9)),
+    ]
+    trend = load_trend(paths)
+    rendered = render_trend(trend)
+    assert "## Scaling vs N" in rendered
+    # Rows ordered by node count, cells carry build time and sim rate.
+    rows = [line for line in rendered.splitlines() if line.startswith("| scale")]
+    assert [row.split("|")[1].strip() for row in rows] == ["scale100", "scale1000"]
+    assert "3.20" in rows[1] and "0.014" in rows[1]
+    payload = trend_json(trend)
+    assert payload["scale"]["PR 9"]["scale100"]["nodes"] == 100

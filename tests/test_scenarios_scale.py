@@ -1,0 +1,141 @@
+"""City-scale scenario family and the clustered (cluster-tree) builder."""
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.scenarios.scale import (
+    scale100,
+    scale300c,
+    scale_scenario,
+)
+from repro.scenarios.sweep import SCENARIO_FACTORIES
+from repro.topology.builders import clustered_topology, relay_count
+
+# --- clustered_topology -------------------------------------------------------
+
+
+def test_clustered_topology_node_budget_matches_relay_count():
+    topology = clustered_topology(6, 10, seed=3)
+    assert len(topology) == 6 * 10 + relay_count(6, 800.0, 220.0)
+
+
+def test_clustered_topology_members_link_to_their_head():
+    cluster_size = 8
+    topology = clustered_topology(4, cluster_size, seed=1)
+    for cluster in range(4):
+        head = cluster * cluster_size
+        for member in range(head + 1, head + cluster_size):
+            assert topology.has_link(head, member)
+
+
+def test_clustered_topology_is_connected_by_construction():
+    for seed in range(3):
+        topology = clustered_topology(9, 12, seed=seed)
+        ids = topology.node_ids
+        seen = {ids[0]}
+        frontier = [ids[0]]
+        while frontier:
+            for neighbor in topology.neighbors(frontier.pop()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == len(ids)
+
+
+def test_clustered_topology_clusters_are_link_isolated():
+    # With 800 m between heads and 200 m cluster radius, members of
+    # different clusters are at least 400 m apart — beyond tx_range —
+    # so traffic must cross the relay chains.
+    cluster_size = 6
+    topology = clustered_topology(4, cluster_size, seed=2)
+    first = set(range(cluster_size))
+    second = set(range(cluster_size, 2 * cluster_size))
+    for a in first:
+        for b in second:
+            assert not topology.has_link(a, b)
+
+
+def test_clustered_topology_is_reproducible():
+    a = clustered_topology(5, 9, seed=11)
+    b = clustered_topology(5, 9, seed=11)
+    assert [(n.x, n.y) for n in a] == [(n.x, n.y) for n in b]
+    c = clustered_topology(5, 9, seed=12)
+    assert [(n.x, n.y) for n in a] != [(n.x, n.y) for n in c]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cluster_radius": 0.0},
+        {"cluster_radius": 300.0},  # > tx_range
+        {"relay_spacing": 0.0},
+        {"relay_spacing": 500.0},  # > tx_range
+        {"cluster_spacing": -1.0},
+    ],
+)
+def test_clustered_topology_rejects_disconnecting_parameters(kwargs):
+    with pytest.raises(TopologyError):
+        clustered_topology(3, 5, **kwargs)
+
+
+def test_clustered_topology_rejects_empty_dimensions():
+    with pytest.raises(TopologyError):
+        clustered_topology(0, 5)
+    with pytest.raises(TopologyError):
+        clustered_topology(3, 0)
+
+
+# --- scale_scenario -----------------------------------------------------------
+
+
+def test_scale_scenario_is_deterministic_per_seed():
+    a = scale_scenario(80, seed=5)
+    b = scale_scenario(80, seed=5)
+    assert [(n.x, n.y) for n in a.topology] == [(n.x, n.y) for n in b.topology]
+    assert [
+        (f.flow_id, f.source, f.destination) for f in a.flows
+    ] == [(f.flow_id, f.source, f.destination) for f in b.flows]
+    c = scale_scenario(80, seed=6)
+    assert [(n.x, n.y) for n in a.topology] != [(n.x, n.y) for n in c.topology]
+
+
+def test_scale_scenario_flows_are_valid_unicast_pairs():
+    scenario = scale_scenario(120, seed=3)
+    assert len(scenario.flows) >= 1
+    node_ids = set(scenario.topology.node_ids)
+    for flow in scenario.flows:
+        assert flow.source in node_ids
+        assert flow.destination in node_ids
+        assert flow.source != flow.destination
+        assert flow.weight == 1.0
+
+
+def test_scale_scenario_clustered_lands_near_requested_node_count():
+    scenario = scale_scenario(300, seed=7, clustered=True)
+    assert 250 <= len(scenario.topology) <= 350
+    assert scenario.name == "scale300c"
+
+
+def test_scale_scenario_rejects_bad_parameters():
+    with pytest.raises(ConfigError):
+        scale_scenario(1)
+    with pytest.raises(ConfigError):
+        scale_scenario(50, mean_degree=0.0)
+    with pytest.raises(ConfigError):
+        scale_scenario(50, flows_per_node=-0.1)
+
+
+def test_scale_factories_are_registered_for_sweeps_and_cli():
+    for name in ("scale100", "scale300", "scale300c", "scale1000"):
+        assert name in SCENARIO_FACTORIES
+    assert SCENARIO_FACTORIES["scale100"] is scale100
+    assert SCENARIO_FACTORIES["scale300c"] is scale300c
+
+
+def test_scale100_factory_matches_parameterized_call():
+    assert scale100().name == "scale100"
+    direct = scale_scenario(100, seed=7)
+    via_factory = scale100()
+    assert [
+        (f.flow_id, f.source, f.destination) for f in direct.flows
+    ] == [(f.flow_id, f.source, f.destination) for f in via_factory.flows]
