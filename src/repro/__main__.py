@@ -28,6 +28,9 @@ Examples::
         --churn "poisson:rate=0.3,mean_hold=6" \
         --health --alerts-out alerts.jsonl
     python -m repro perftrend BENCH_4.json BENCH_7.json --out trend.md
+    python -m repro serve scale100 --substrate fluid --pace 20 \
+        --port 8787 --session-dir serve-session
+    python -m repro serve --replay serve-session/commands.jsonl
 
 Fault specs (``--faults``) are semicolon-separated events; see
 :mod:`repro.faults.spec` for the grammar.  ``--metrics-out`` /
@@ -45,7 +48,9 @@ the run (:mod:`repro.obs`), so a killed or watchdog-aborted run keeps
 its metrics; ``--health`` arms the in-run health monitor whose alerts
 print as they fire (``--alerts-out`` also appends them as JSON lines);
 ``perftrend`` renders the accumulated ``BENCH_*.json`` history as a
-per-PR trend report.
+per-PR trend report; ``serve`` hosts a paced run behind a live HTTP
+observability and control plane (:mod:`repro.obs.serve`) and replays a
+served session's command journal.
 """
 
 from __future__ import annotations
@@ -120,6 +125,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.obs.serve import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "scenario",

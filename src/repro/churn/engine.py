@@ -70,7 +70,10 @@ class ChurnEngine:
 
     Args:
         sim: simulation kernel.
-        spec: the churn process.
+        spec: the churn process, or ``None`` for a command-driven
+            engine (service mode): no trace is built and :meth:`arm`
+            is forbidden; arrivals/departures come exclusively through
+            :meth:`inject_arrival` / :meth:`inject_departure`.
         routes: routing tables (trace candidate pairs).
         flows: the run's *live* flow set (shared with GMP).
         all_flows: registry of every flow that ever existed this run;
@@ -89,7 +92,7 @@ class ChurnEngine:
     def __init__(
         self,
         sim: Simulator,
-        spec: ChurnSpec,
+        spec: ChurnSpec | None,
         *,
         routes: RouteSet,
         flows: FlowSet,
@@ -99,6 +102,7 @@ class ChurnEngine:
         make_source: Callable[[Flow], TrafficSource],
         gmp: GmpProtocol | None = None,
         period: float = 2.0,
+        duration: float = 0.0,
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -111,7 +115,7 @@ class ChurnEngine:
         self.gmp = gmp
         self.period = period
         self.trace: ChurnTrace | None = None
-        self._duration = 0.0
+        self._duration = duration
         self._arrivals = 0
         self._departures = 0
         self._lifetimes: dict[int, list[float]] = {}
@@ -121,9 +125,12 @@ class ChurnEngine:
         """Build the trace for ``duration`` and schedule its events.
 
         Raises:
-            ChurnError: when armed twice or the spec cannot produce a
+            ChurnError: when armed twice, when the engine is
+                command-driven (no spec), or the spec cannot produce a
                 trace on this topology.
         """
+        if self.spec is None:
+            raise ChurnError("command-driven churn engine has no trace to arm")
         if self.trace is not None:
             raise ChurnError("churn engine already armed")
         self._duration = duration
@@ -139,20 +146,37 @@ class ChurnEngine:
             if isinstance(event, FlowArrival):
                 self.sim.call_at(
                     event.at,
-                    lambda flow=event.flow: self._arrive(flow),
+                    lambda flow=event.flow: self.inject_arrival(flow),
                     tag="churn.arrive",
                 )
             else:
                 self.sim.call_at(
                     event.at,
-                    lambda flow_id=event.flow_id: self._depart(flow_id),
+                    lambda flow_id=event.flow_id: self.inject_departure(flow_id),
                     tag="churn.depart",
                 )
         return self.trace
 
     # --- event handlers ---------------------------------------------------------
+    # Public on purpose: the service-mode control plane grafts live
+    # flow arrivals/departures through the exact same code path the
+    # churn trace uses, so command-driven and trace-driven flows are
+    # indistinguishable to GMP, the audits, and the measurements.
 
-    def _arrive(self, flow: Flow) -> None:
+    def inject_arrival(self, flow: Flow) -> None:
+        """Graft ``flow`` into the live run right now.
+
+        Raises:
+            ChurnError: when the flow id is already live or the flow's
+                endpoints have no stack in this scenario.
+        """
+        if flow.flow_id in self.sources:
+            raise ChurnError(f"flow {flow.flow_id} already exists in this run")
+        if flow.source not in self.stacks or flow.destination not in self.stacks:
+            raise ChurnError(
+                f"flow {flow.flow_id} endpoints {flow.source}->{flow.destination} "
+                "are not nodes of this scenario"
+            )
         source = self.make_source(flow)
         if self.gmp is not None:
             self.gmp.add_flow(flow, source)
@@ -169,14 +193,24 @@ class ChurnEngine:
             # resumes every paused source at the node).
             source.pause()
 
-    def _depart(self, flow_id: int) -> None:
+    def inject_departure(self, flow_id: int) -> None:
+        """Retire ``flow_id`` from the live run right now.
+
+        Raises:
+            ChurnError: when no such flow was ever offered traffic, or
+                it already departed.
+        """
+        if flow_id not in self.sources:
+            raise ChurnError(f"unknown flow {flow_id}")
+        if flow_id in self._lifetimes and self._lifetimes[flow_id][1] < self._duration:
+            raise ChurnError(f"flow {flow_id} already departed")
         source = self.sources.get(flow_id)
         if source is not None:
             source.stop()
         life = self._lifetimes.setdefault(flow_id, [0.0, self._duration])
         life[1] = self.sim.now
         if self.gmp is not None:
-            if not self.spec.leak_departed_state:
+            if self.spec is None or not self.spec.leak_departed_state:
                 self.gmp.remove_flow(flow_id)
             residue = self.gmp.departure_audit(flow_id)
             if residue:
@@ -200,7 +234,9 @@ class ChurnEngine:
     def finalize(self) -> ChurnReport:
         """Summarize the run (call after ``sim.run`` returns)."""
         return ChurnReport(
-            spec_text=self.spec.to_text(),
+            spec_text=(
+                self.spec.to_text() if self.spec is not None else "command-driven"
+            ),
             arrivals=self._arrivals,
             departures=self._departures,
             skipped_at_cap=self.trace.skipped_at_cap if self.trace else 0,

@@ -75,28 +75,31 @@ class FaultInjector:
 
     def _validate(self) -> None:
         for event in self.schedule:
-            if isinstance(event, (NodeCrash, NodeRecover)):
-                if event.node not in self.stacks:
-                    raise FaultError(
-                        f"fault targets unknown node {event.node}: {event}"
-                    )
-            if isinstance(event, (LinkDegrade, LinkRestore, PacketLossBurst)):
-                for end in event.link:
-                    if end not in self.stacks:
-                        raise FaultError(
-                            f"fault targets unknown node {end}: {event}"
-                        )
-            if isinstance(event, LinkDegrade) and event.capacity_pps is not None:
-                if type(self.mac).set_link_capacity is MacLayer.set_link_capacity:
-                    raise FaultError(
-                        f"{type(self.mac).__name__} cannot degrade link "
-                        f"capacity (packet-level substrate); use a loss "
-                        f"rate instead: {event}"
-                    )
-            if isinstance(event, ControlLoss) and self.gmp is None:
+            self._validate_one(event)
+
+    def _validate_one(self, event: object) -> None:
+        if isinstance(event, (NodeCrash, NodeRecover)):
+            if event.node not in self.stacks:
                 raise FaultError(
-                    f"ControlLoss requires the GMP protocol engine: {event}"
+                    f"fault targets unknown node {event.node}: {event}"
                 )
+        if isinstance(event, (LinkDegrade, LinkRestore, PacketLossBurst)):
+            for end in event.link:
+                if end not in self.stacks:
+                    raise FaultError(
+                        f"fault targets unknown node {end}: {event}"
+                    )
+        if isinstance(event, LinkDegrade) and event.capacity_pps is not None:
+            if type(self.mac).set_link_capacity is MacLayer.set_link_capacity:
+                raise FaultError(
+                    f"{type(self.mac).__name__} cannot degrade link "
+                    f"capacity (packet-level substrate); use a loss "
+                    f"rate instead: {event}"
+                )
+        if isinstance(event, ControlLoss) and self.gmp is None:
+            raise FaultError(
+                f"ControlLoss requires the GMP protocol engine: {event}"
+            )
 
     # --- arming --------------------------------------------------------------------
 
@@ -151,6 +154,48 @@ class FaultInjector:
 
     def _arm_one(self, at: float, tag: str, handler, *args) -> None:
         self.sim.call_at(at, lambda: handler(*args), tag=tag)
+
+    # --- live injection -------------------------------------------------------------
+
+    def inject(self, event: object) -> str:
+        """Apply one fault event immediately (service-mode control plane).
+
+        The event's ``at`` field is ignored — it fires now, from
+        whatever context called this (a kernel callback or a monitor
+        tick).  Windowed events (:class:`PacketLossBurst`) schedule
+        their own restore at ``event.until``.
+
+        Returns:
+            The human-readable fault-log line that was recorded.
+
+        Raises:
+            FaultError: if the event references unknown nodes, needs
+                hooks the substrate lacks, or its window lies in the
+                past.
+        """
+        self._validate_one(event)
+        if isinstance(event, NodeCrash):
+            self._crash(event.node)
+        elif isinstance(event, NodeRecover):
+            self._recover(event.node)
+        elif isinstance(event, LinkDegrade):
+            self._degrade(event.link, event.loss_rate, event.capacity_pps)
+        elif isinstance(event, LinkRestore):
+            self._restore(event.link)
+        elif isinstance(event, ControlLoss):
+            if event.until <= self.sim.now:
+                raise FaultError(
+                    f"control-loss window ends in the past: {event}"
+                )
+            self._control_loss(event.drop_prob, event.until)
+        elif isinstance(event, PacketLossBurst):
+            if event.until <= self.sim.now:
+                raise FaultError(f"loss-burst window ends in the past: {event}")
+            self._degrade(event.link, event.loss_rate, None)
+            self._arm_one(event.until, "fault.burst", self._restore, event.link)
+        else:
+            raise FaultError(f"unhandled fault event: {event!r}")
+        return self.fault_log[-1][1]
 
     def _log(self, text: str) -> None:
         self.fault_log.append((self.sim.now, text))

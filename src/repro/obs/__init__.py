@@ -19,7 +19,13 @@ and watches runs from the outside:
   hooks;
 * :mod:`repro.obs.perftrend` — the fleet-style trend reporter that
   ingests every ``BENCH_*.json`` artifact plus the fidelity baseline
-  and renders per-metric, per-PR trajectories.
+  and renders per-metric, per-PR trajectories;
+* :mod:`repro.obs.serve` / :mod:`repro.obs.httpapi` — service mode:
+  a stdlib HTTP daemon around a live (optionally wall-clock-paced)
+  run.  HTTP threads only *enqueue* commands; the
+  :class:`ServeController` applies them on the simulation thread at
+  monitor ticks and journals each one, so ``repro serve --replay``
+  reproduces the exact run, digest and all.
 
 Everything here is strictly passive: monitors are ticked by the kernel
 *between* event dispatches, never via scheduled events, so enabling
@@ -38,7 +44,15 @@ from repro.obs.health import (
     jsonl_delivery,
     webhook_delivery,
 )
+from repro.obs.httpapi import ServeApi, make_server
 from repro.obs.perftrend import TrendReport, load_trend, render_trend
+from repro.obs.serve import (
+    ServeConfig,
+    ServeController,
+    load_journal,
+    replay_session,
+    serve_session,
+)
 from repro.obs.sinks import JsonlSink, RingSink, SqliteSink, TelemetrySink
 from repro.obs.stream import StreamPublisher, reconstruct_jsonl
 
@@ -49,14 +63,21 @@ __all__ = [
     "HealthMonitor",
     "JsonlSink",
     "RingSink",
+    "ServeApi",
+    "ServeConfig",
+    "ServeController",
     "SqliteSink",
     "StreamPublisher",
     "TelemetrySink",
     "TrendReport",
     "console_delivery",
     "jsonl_delivery",
+    "load_journal",
     "load_trend",
+    "make_server",
     "reconstruct_jsonl",
     "render_trend",
+    "replay_session",
+    "serve_session",
     "webhook_delivery",
 ]

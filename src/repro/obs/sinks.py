@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from collections import deque
 from typing import Any
 
@@ -120,6 +121,7 @@ class SqliteSink(TelemetrySink):
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
+        self._thread = threading.get_ident()
         self._conn = sqlite3.connect(self.path)
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS records ("
@@ -167,11 +169,20 @@ class SqliteSink(TelemetrySink):
         self._closed = True
 
     def _read_conn(self) -> tuple[sqlite3.Connection, bool]:
-        """A connection to read from: the live one (flushed first), or
-        a throwaway one when the sink is already closed — inspecting a
-        finished database must not require keeping the sink open."""
-        if self._closed:
-            return sqlite3.connect(self.path), True
+        """A connection to read from: the live one (flushed first) on
+        the writer thread, or a throwaway one when the sink is already
+        closed — inspecting a finished database must not require
+        keeping the sink open.
+
+        A call from *another* thread (the service-mode HTTP plane
+        scraping a run in flight) also gets a throwaway connection:
+        sqlite3 connections are bound to their creating thread, and a
+        fresh read-only-in-practice connection observes exactly the
+        committed rows — the periodic kernel-paced flush bounds its
+        staleness.  Cross-thread readers never flush (the pending
+        buffer belongs to the writer thread)."""
+        if self._closed or threading.get_ident() != self._thread:
+            return sqlite3.connect(self.path, timeout=5.0), True
         self.flush()
         return self._conn, False
 

@@ -85,6 +85,250 @@ PROTOCOLS = ("gmp", "802.11", "2pp", "backpressure-shared", "backpressure-perdes
 SUBSTRATES = ("dcf", "fluid")
 
 
+class LiveRunHandle:
+    """The live-control surface of one in-flight :func:`run_scenario`.
+
+    Built by the runner when a ``control`` monitor is attached and
+    handed to it via ``control.bind(sim, handle)``.  Mutating methods
+    (:meth:`add_flow`, :meth:`remove_flow`, :meth:`inject_fault`,
+    :meth:`stop`) steer the simulation and must only be called from
+    kernel context — a callback or a monitor tick on the simulation
+    thread; the service layer guarantees that by queueing commands and
+    applying them at ticks.  Read methods are safe to call from other
+    threads (they only read live state), with the usual monitoring
+    caveat that a concurrent mutation can surface as a transient
+    ``RuntimeError`` the reader should retry.
+    """
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        scenario: Scenario,
+        protocol: str,
+        substrate: str,
+        duration: float,
+        warmup: float,
+        seed: int,
+        rate_interval: float | None,
+        flows: FlowSet,
+        all_flows: dict[int, Flow],
+        stacks: dict[int, NodeStack],
+        routes: Any,
+        engine: ChurnEngine,
+        injector: FaultInjector,
+        gmp: GmpProtocol | None,
+        telemetry: Telemetry | None,
+        stream: Any,
+        health: Any,
+        capacity_pps: float,
+        cliques: Any,
+        warm_counts: dict[int, int],
+        interval_rates: dict[int, list[float]],
+        interval_bounds: list[float],
+    ) -> None:
+        self.sim = sim
+        self.scenario = scenario
+        self.protocol = protocol
+        self.substrate = substrate
+        self.duration = duration
+        self.warmup = warmup
+        self.seed = seed
+        self.rate_interval = rate_interval
+        self.flows = flows
+        self.all_flows = all_flows
+        self.stacks = stacks
+        self.routes = routes
+        self.engine = engine
+        self.injector = injector
+        self.gmp = gmp
+        self.telemetry = telemetry
+        self.stream = stream
+        self.health = health
+        self.capacity_pps = capacity_pps
+        self._cliques = cliques  # zero-arg callable (lazy shared cache)
+        self._warm_counts = warm_counts
+        self._interval_rates = interval_rates
+        self._interval_bounds = interval_bounds
+        self._maxmin_cache: dict[str, Any] = {}
+
+    # --- status reads -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def events_processed(self) -> int:
+        return self.sim.events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        return self.sim.pending_events
+
+    def run_info(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.name,
+            "protocol": self.protocol,
+            "substrate": self.substrate,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "rate_interval": self.rate_interval,
+        }
+
+    # --- live measurement -------------------------------------------------------
+
+    def live_flow_rates(self) -> dict[int, float]:
+        """Delivered rate per flow measured exactly like the end-of-run
+        rates, but over each flow's lifetime *so far*."""
+        now = self.sim.now
+        lifetimes = self.engine.live_lifetimes()
+        rates: dict[int, float] = {}
+        for flow_id in sorted(self.all_flows):
+            flow = self.all_flows[flow_id]
+            sink = self.stacks[flow.destination]
+            total = sink.delivered.get(flow_id, 0)
+            start, end = lifetimes.get(flow_id, (0.0, now))
+            end = min(end, now)
+            if start < self.warmup < end:
+                delivered = total - self._warm_counts.get(flow_id, 0)
+                window = end - self.warmup
+            else:
+                delivered = total
+                window = end - start
+            rates[flow_id] = delivered / window if window > 0 else 0.0
+        return rates
+
+    def flows_summary(self) -> list[dict[str, Any]]:
+        """One dict per flow that ever existed this run (live flows are
+        flagged), with live measured rate and the GMP rate limit."""
+        rates = self.live_flow_rates()
+        lifetimes = self.engine.live_lifetimes()
+        limits = self.gmp.rate_limits() if self.gmp is not None else {}
+        live_ids = {flow.flow_id for flow in self.flows}
+        summary = []
+        for flow_id in sorted(self.all_flows):
+            flow = self.all_flows[flow_id]
+            start, end = lifetimes.get(flow_id, (0.0, self.duration))
+            summary.append(
+                {
+                    "flow_id": flow_id,
+                    "source": flow.source,
+                    "destination": flow.destination,
+                    "weight": flow.weight,
+                    "desired_rate": flow.desired_rate,
+                    "live": flow_id in live_ids,
+                    "arrived": start,
+                    "departed": None if flow_id in live_ids else end,
+                    "rate": rates.get(flow_id, 0.0),
+                    "rate_limit": limits.get(flow_id),
+                    "hops": self.routes.hop_count(flow.source, flow.destination),
+                }
+            )
+        return summary
+
+    def partial_result(self) -> RunResult:
+        """A mid-run :class:`RunResult` carrying everything the
+        per-flow explainer (:func:`repro.fidelity.explain.explain_flow`)
+        needs: live rates, the maxmin solution over the *current* flow
+        set, cliques, capacity, paths, weights, and rate limits."""
+        extras: dict[str, Any] = {}
+        if self.telemetry is not None and self.telemetry.enabled:
+            extras["telemetry"] = self.telemetry
+        extras["flow_paths"] = {
+            flow_id: list(
+                self.routes.path_links(flow.source, flow.destination)
+            )
+            for flow_id, flow in sorted(self.all_flows.items())
+        }
+        extras["flow_weights"] = {
+            flow_id: flow.weight
+            for flow_id, flow in sorted(self.all_flows.items())
+        }
+        if self.gmp is not None:
+            key = tuple(sorted(flow.flow_id for flow in self.flows))
+            if self._maxmin_cache.get("key") != key:
+                solution = weighted_maxmin_rates(
+                    self.flows, self.routes, self._cliques(), self.capacity_pps
+                )
+                self._maxmin_cache["key"] = key
+                self._maxmin_cache["solution"] = solution
+            extras["maxmin_solution"] = self._maxmin_cache["solution"]
+            extras["maxmin_reference"] = dict(
+                self._maxmin_cache["solution"].rates
+            )
+            extras["rate_limits"] = self.gmp.rate_limits()
+        extras["cliques"] = self._cliques()
+        extras["capacity_pps"] = self.capacity_pps
+        return RunResult(
+            scenario=self.scenario.name,
+            protocol=self.protocol,
+            substrate=self.substrate,
+            duration=self.duration,
+            warmup=self.warmup,
+            seed=self.seed,
+            flow_rates=self.live_flow_rates(),
+            hop_counts={
+                flow_id: self.routes.hop_count(flow.source, flow.destination)
+                for flow_id, flow in sorted(self.all_flows.items())
+            },
+            effective_throughput=0.0,
+            rate_interval=self.rate_interval,
+            interval_rates=self._interval_rates,
+            interval_bounds=self._interval_bounds,
+            flow_lifetimes=self.engine.live_lifetimes(),
+            extras=extras,
+        )
+
+    # --- mutations (kernel context only) ----------------------------------------
+
+    def next_flow_id(self) -> int:
+        """The smallest id never used by any flow of this run."""
+        return max(self.all_flows, default=0) + 1
+
+    def add_flow(
+        self,
+        source: int,
+        destination: int,
+        *,
+        flow_id: int | None = None,
+        weight: float = 1.0,
+        desired_rate: float = 800.0,
+        packet_bytes: int = 1024,
+    ) -> Flow:
+        """Graft a new flow into the run right now; returns the flow
+        (with its assigned id when ``flow_id`` was omitted)."""
+        if flow_id is None:
+            flow_id = self.next_flow_id()
+        if flow_id in self.all_flows:
+            raise ConfigError(
+                f"flow id {flow_id} was already used this run"
+            )
+        flow = Flow(
+            flow_id=flow_id,
+            source=source,
+            destination=destination,
+            weight=weight,
+            desired_rate=desired_rate,
+            packet_bytes=packet_bytes,
+        )
+        self.engine.inject_arrival(flow)
+        return flow
+
+    def remove_flow(self, flow_id: int) -> None:
+        """Retire a live flow right now."""
+        self.engine.inject_departure(flow_id)
+
+    def inject_fault(self, event: Any) -> str:
+        """Apply one :class:`~repro.faults.schedule.FaultEvent` now."""
+        return self.injector.inject(event)
+
+    def stop(self) -> None:
+        """Stop the run after the in-flight event (graceful shutdown)."""
+        self.sim.stop()
+
+
 def run_scenario(
     scenario: Scenario,
     *,
@@ -112,6 +356,8 @@ def run_scenario(
     sanitizer: ReplaySanitizer | None = None,
     stream: Any = None,
     health: Any = None,
+    control: Any = None,
+    pace: float | None = None,
 ) -> RunResult:
     """Simulate one session and measure end-to-end flow rates.
 
@@ -194,6 +440,25 @@ def run_scenario(
             ``extras["health"]``.  Neither hook schedules events or
             draws randomness: the dispatched event sequence (and the
             replay digest) is identical with or without them.
+        control: optional service-mode controller (duck-typed —
+            :class:`repro.obs.serve.ServeController` in practice).  The
+            runner assembles a command-driven churn engine and a live
+            fault injector, wraps them (plus live measurement and the
+            explainer inputs) in a :class:`LiveRunHandle`, and calls
+            ``control.bind(sim, handle)`` before the run.  The
+            controller is a kernel run monitor: commands it applies at
+            monitor ticks (flow arrivals/departures, faults, stop) *do*
+            steer the simulation — but only from tick context, so an
+            identical command sequence applied at identical tick times
+            reproduces the identical run (the replay story of
+            :mod:`repro.obs.serve`).  The engine's report lands in
+            ``extras["control_report"]``; a fault or control run
+            defaults ``rate_interval`` to 1.0 s.  Not supported with
+            the static 2PP allocation.
+        pace: ceiling on simulated seconds per wall-clock second
+            (forwarded to :meth:`~repro.sim.kernel.Simulator.run`);
+            ``None`` is free-running.  Pacing only sleeps — it never
+            changes what the simulation does.
 
     Raises:
         ConfigError: on unknown protocol/substrate names, inconsistent
@@ -221,12 +486,14 @@ def run_scenario(
         warmup = duration / 3.0
     if not 0 <= warmup < duration:
         raise ConfigError(f"warmup {warmup} must lie within [0, {duration})")
-    if churn is not None and protocol == "2pp":
+    if (churn is not None or control is not None) and protocol == "2pp":
         raise ConfigError(
             "2pp enforces a static precomputed allocation; it cannot "
-            "take a dynamic workload (churn)"
+            "take a dynamic workload (churn or live control)"
         )
-    if rate_interval is None and (faults is not None or churn is not None):
+    if rate_interval is None and (
+        faults is not None or churn is not None or control is not None
+    ):
         rate_interval = 1.0
     if rate_interval is not None and not 0 < rate_interval <= duration:
         raise ConfigError(
@@ -238,15 +505,15 @@ def run_scenario(
     gmp_config = gmp_config or GmpConfig()
     topology = scenario.topology
     flows = scenario.flows
-    if churn is not None:
+    if churn is not None or control is not None:
         # The engine mutates the flow set as flows come and go; work on
         # a copy so the Scenario object itself replays byte-identically
         # (replay_check runs it twice).
         flows = FlowSet(list(scenario.flows))
     routes = ROUTING_PROTOCOLS[routing](topology)
     assert_acyclic(routes, flows.destinations())
-    if churn is not None:
-        # Any routable node can become a churned flow's destination.
+    if churn is not None or control is not None:
+        # Any routable node can become a dynamic flow's destination.
         assert_acyclic(routes, sorted(topology.node_ids))
     # Every flow that ever existed this run, static or churned; the
     # measurement/sampling paths read it because departed flows leave
@@ -351,23 +618,30 @@ def run_scenario(
         extras["two_phase"] = allocation
 
     injector: FaultInjector | None = None
-    if faults is not None:
-        faults.validate_within(duration)
+    if faults is not None or control is not None:
+        # A controlled run gets an injector even with no schedule: the
+        # control plane applies faults live through it.
+        schedule = faults if faults is not None else FaultSchedule()
+        if faults is not None:
+            faults.validate_within(duration)
         injector = FaultInjector(
-            sim, faults, mac=mac, stacks=stacks, sources=sources, gmp=gmp
+            sim, schedule, mac=mac, stacks=stacks, sources=sources, gmp=gmp
         )
-        injector.arm()
+        if faults is not None:
+            injector.arm()
 
-    churn_engine: ChurnEngine | None = None
-    if churn is not None:
-
-        def make_churn_source(flow: Flow) -> TrafficSource:
+    def make_dynamic_source(model: str):
+        def factory(flow: Flow) -> TrafficSource:
             stack = stacks[flow.source]
             on_generate = gmp.stamp if gmp is not None else None
-            return TRAFFIC_MODELS[churn.traffic](
+            return TRAFFIC_MODELS[model](
                 sim, flow, stack.admit_local, on_generate=on_generate
             )
 
+        return factory
+
+    churn_engine: ChurnEngine | None = None
+    if churn is not None:
         churn_engine = ChurnEngine(
             sim,
             churn,
@@ -376,11 +650,30 @@ def run_scenario(
             all_flows=all_flows,
             stacks=stacks,
             sources=sources,
-            make_source=make_churn_source,
+            make_source=make_dynamic_source(churn.traffic),
             gmp=gmp,
             period=gmp_config.period,
         )
         churn_engine.arm(duration)
+
+    # Live-control flow arrivals/departures go through the same engine
+    # machinery as trace churn; with no churn spec, a command-driven
+    # engine (spec=None) carries them alone.
+    dynamic_engine: ChurnEngine | None = churn_engine
+    if control is not None and dynamic_engine is None:
+        dynamic_engine = ChurnEngine(
+            sim,
+            None,
+            routes=routes,
+            flows=flows,
+            all_flows=all_flows,
+            stacks=stacks,
+            sources=sources,
+            make_source=make_dynamic_source(traffic),
+            gmp=gmp,
+            period=gmp_config.period,
+            duration=duration,
+        )
 
     mac.start()
     if gmp is not None:
@@ -483,8 +776,8 @@ def run_scenario(
                 interval_rates=interval_rates,
                 interval_bounds=interval_bounds,
                 flow_lifetimes=(
-                    churn_engine.live_lifetimes()
-                    if churn_engine is not None
+                    dynamic_engine.live_lifetimes()
+                    if dynamic_engine is not None
                     else {}
                 ),
                 extras=snapshot_extras,
@@ -492,12 +785,45 @@ def run_scenario(
 
         health.bind(sim, health_snapshot)
 
+    if control is not None:
+        handle = LiveRunHandle(
+            sim=sim,
+            scenario=scenario,
+            protocol=protocol,
+            substrate=substrate,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            rate_interval=rate_interval,
+            flows=flows,
+            all_flows=all_flows,
+            stacks=stacks,
+            routes=routes,
+            engine=dynamic_engine,
+            injector=injector,
+            gmp=gmp,
+            telemetry=telemetry,
+            stream=stream,
+            health=health,
+            capacity_pps=capacity_pps,
+            cliques=topology_cliques,
+            warm_counts=warm_counts,
+            interval_rates=interval_rates,
+            interval_bounds=interval_bounds,
+        )
+        control.bind(sim, handle)
+
     sim.run(
         until=duration,
         max_events=max_events,
         stall_limit=stall_limit,
         wall_deadline=wall_deadline,
+        pace=pace,
     )
+    if control is not None:
+        finalize_control = getattr(control, "finalize", None)
+        if finalize_control is not None:
+            finalize_control(sim.now)
 
     extras["events_processed"] = sim.events_processed
     if sanitizer is not None:
@@ -539,7 +865,9 @@ def run_scenario(
     if health is not None:
         extras["health"] = health.finalize(sim.now)
 
-    churn_report = churn_engine.finalize() if churn_engine is not None else None
+    churn_report = (
+        dynamic_engine.finalize() if dynamic_engine is not None else None
+    )
     lifetimes: dict[int, tuple[float, float]] = (
         dict(churn_report.lifetimes) if churn_report is not None else {}
     )
@@ -577,12 +905,18 @@ def run_scenario(
         flow_id: flow.weight for flow_id, flow in sorted(all_flows.items())
     }
     if churn_report is not None:
-        extras["churn"] = churn_report
+        if churn is not None:
+            extras["churn"] = churn_report
+        else:
+            extras["control_report"] = churn_report
         if rate_interval and interval_rates:
+            # A flow grafted moments before the run ended (e.g. via a
+            # served session's shutdown) may have no completed
+            # measurement window; it cannot be convergence-scored.
             arrivals_only = {
                 flow_id: life
                 for flow_id, life in lifetimes.items()
-                if life[0] > 0.0
+                if life[0] > 0.0 and flow_id in interval_rates
             }
             extras["per_arrival_convergence"] = per_arrival_convergence(
                 interval_rates,
@@ -627,7 +961,9 @@ def run_scenario(
         report.check()
 
     measured_flows = (
-        FlowSet(list(all_flows.values())) if churn is not None else flows
+        FlowSet(list(all_flows.values()))
+        if churn is not None or control is not None
+        else flows
     )
     return RunResult(
         scenario=scenario.name,

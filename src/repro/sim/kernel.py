@@ -189,6 +189,11 @@ class Simulator:
         """Number of events dispatched so far (excludes cancelled)."""
         return self._events_processed
 
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including tombstones)."""
+        return len(self._queue)
+
     # --- scheduling ---------------------------------------------------------
 
     def call_at(
@@ -346,6 +351,7 @@ class Simulator:
         max_events: int | None = None,
         stall_limit: int | None = None,
         wall_deadline: float | None = None,
+        pace: float | None = None,
     ) -> float:
         """Dispatch events in time order.
 
@@ -361,6 +367,12 @@ class Simulator:
             wall_deadline: real-time budget in seconds; checked
                 periodically, so overshoot is bounded by one batch of
                 events, not one event.
+            pace: ceiling on simulated seconds advanced per wall-clock
+                second (``pace=20`` runs at most 20x real time; ``None``
+                is free-running).  Pacing only ever *sleeps* before a
+                batch — it never feeds wall time into the model — so the
+                dispatched event sequence, and hence the replay digest,
+                are identical at every pace.
 
         Returns:
             The simulation time when the run stopped.
@@ -379,6 +391,8 @@ class Simulator:
             raise SimulationError(
                 f"wall_deadline must be positive: {wall_deadline}"
             )
+        if pace is not None and pace <= 0:
+            raise SimulationError(f"pace must be positive: {pace}")
         self._running = True
         self._stopped = False
         wall_start = _time.monotonic() if wall_deadline is not None else 0.0
@@ -410,6 +424,7 @@ class Simulator:
             max_events is None
             and stall_limit is None
             and wall_deadline is None
+            and pace is None
             and sanitizer is None
             and not collect
             and not self._monitors
@@ -417,6 +432,8 @@ class Simulator:
         monitor_due = (
             min(self._monitor_due) if self._monitors else float("inf")
         )
+        pace_origin = self._now
+        pace_start = _time.monotonic() if pace is not None else 0.0
         try:
             if fast:
                 processed = 0
@@ -463,6 +480,20 @@ class Simulator:
                 batch = queue.pop_batch(_BATCH_LIMIT, until)
                 if not batch:
                     break
+                if pace is not None:
+                    # Throttle before the batch: the head event must not
+                    # run before its wall due time.  Sleeps are chunked
+                    # so an external stop() is honored promptly, and
+                    # overshoot is bounded by one batch of events.
+                    target = (batch[0].time - pace_origin) / pace
+                    while not self._stopped:
+                        lag = target - (_time.monotonic() - pace_start)
+                        if lag <= 0:
+                            break
+                        _time.sleep(min(lag, 0.2))
+                    if self._stopped:
+                        queue.reinject(batch)
+                        break
                 batches += 1
                 batched_events += len(batch)
                 index = 0

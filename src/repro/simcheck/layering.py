@@ -139,6 +139,10 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
     # never import the kernel: it reaches the simulator only through
     # the duck-typed monitor handle the runner passes it, which is
     # what keeps "observing a run cannot perturb it" architectural.
+    # Service mode earns two narrow additions: ``faults`` (the control
+    # plane builds FaultEvents for the runner-owned injector to apply)
+    # and ``sim.replay`` (the passive digest sanitizer it hands *into*
+    # run_scenario) — still no ``sim.kernel``.
     "obs": {
         "errors",
         "units",
@@ -147,9 +151,11 @@ ALLOWED_IMPORTS: dict[str, set[str] | None] = {
         "topology",
         "routing",
         "core",
+        "faults",
         "analysis",
         "scenarios",
         "fidelity",
+        "sim.replay",
     },
     "__init__": None,
     "__main__": None,

@@ -363,3 +363,194 @@ def format_summary(telemetry: Telemetry, *, top: int = 12) -> str:
             lines.append(f"  (+{telemetry.events_dropped} dropped at the cap)")
 
     return "\n".join(lines)
+
+
+# --- Prometheus text exposition -------------------------------------------------
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    """``repro.`` metric name -> Prometheus metric name.
+
+    Dots and every other illegal character become underscores, and all
+    metrics share the ``repro_`` namespace prefix.
+    """
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}{suffix}"
+
+
+def _prom_escape(value: Any) -> str:
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_prom_escape(value)}"' for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _prom_histogram_lines(
+    name: str,
+    labels: dict[str, Any],
+    bounds: tuple[float, ...],
+    per_bucket: list[float],
+    total: float,
+    count: float,
+) -> list[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` lines for one
+    histogram instrument (works for both counted and time-weighted
+    buckets — Prometheus histograms only require monotone buckets)."""
+    lines = []
+    cumulative = 0.0
+    for bound, in_bucket in zip(bounds, per_bucket):
+        cumulative += in_bucket
+        le = 'le="' + _prom_float(bound) + '"'
+        lines.append(
+            f"{name}_bucket{_prom_labels(labels, le)} {_prom_float(cumulative)}"
+        )
+    cumulative += per_bucket[len(bounds)] if len(per_bucket) > len(bounds) else 0.0
+    lines.append(
+        f"{name}_bucket" + _prom_labels(labels, 'le="+Inf"')
+        + f" {_prom_float(cumulative)}"
+    )
+    lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_float(total)}")
+    lines.append(f"{name}_count{_prom_labels(labels)} {_prom_float(count)}")
+    return lines
+
+
+def render_metrics_prometheus(telemetry: Telemetry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4.
+
+    Instruments are walked in ``stable_instrument_key`` order, so two
+    renders of the same registry are byte-identical.  Mapping:
+
+    * counters -> ``repro_<name>_total`` (``TYPE counter``);
+    * gauges -> ``repro_<name>`` (unset gauges are skipped);
+    * sample histograms -> cumulative ``_bucket``/``_sum``/``_count``;
+    * time-weighted histograms -> the same shape with seconds-in-bucket
+      as the (monotone) bucket values;
+    * series -> a gauge of the most recent value, plus a
+      ``_points_total`` counter of stored points.
+    """
+    groups: dict[tuple[str, str, str], list[str]] = {}
+
+    def emit(kind: str, prom_name: str, prom_type: str, lines: list[str]) -> None:
+        group = groups.setdefault((kind, prom_name, prom_type), [])
+        group.extend(lines)
+
+    for instrument in telemetry.registry.instruments():
+        labels = instrument.labels
+        if isinstance(instrument, Counter):
+            name = _prom_name(instrument.name, "_total")
+            emit(
+                "counter",
+                name,
+                "counter",
+                [f"{name}{_prom_labels(labels)} {_prom_float(instrument.value)}"],
+            )
+        elif isinstance(instrument, Gauge):
+            if instrument.value is None:
+                continue
+            name = _prom_name(instrument.name)
+            emit(
+                "gauge",
+                name,
+                "gauge",
+                [f"{name}{_prom_labels(labels)} {_prom_float(instrument.value)}"],
+            )
+        elif isinstance(instrument, SampleHistogram):
+            name = _prom_name(instrument.name)
+            emit(
+                "sample_histogram",
+                name,
+                "histogram",
+                _prom_histogram_lines(
+                    name,
+                    labels,
+                    instrument.bounds,
+                    [float(c) for c in instrument.bucket_counts],
+                    instrument.total,
+                    float(instrument.count),
+                ),
+            )
+        elif isinstance(instrument, TimeWeightedHistogram):
+            name = _prom_name(instrument.name, "_seconds")
+            emit(
+                "histogram",
+                name,
+                "histogram",
+                _prom_histogram_lines(
+                    name,
+                    labels,
+                    instrument.bounds,
+                    list(instrument.bucket_time),
+                    instrument.weighted_sum,
+                    instrument.total_time,
+                ),
+            )
+        elif isinstance(instrument, Series):
+            if not instrument.values:
+                continue
+            name = _prom_name(instrument.name)
+            emit(
+                "series",
+                name,
+                "gauge",
+                [f"{name}{_prom_labels(labels)} {_prom_float(instrument.values[-1])}"],
+            )
+            points = _prom_name(instrument.name, "_points_total")
+            emit(
+                "series_points",
+                points,
+                "counter",
+                [f"{points}{_prom_labels(labels)} {_prom_float(len(instrument))}"],
+            )
+
+    out: list[str] = []
+    seen_types: set[str] = set()
+    for (_kind, prom_name, prom_type), lines in groups.items():
+        if prom_name not in seen_types:
+            seen_types.add(prom_name)
+            out.append(f"# TYPE {prom_name} {prom_type}")
+        out.extend(lines)
+    if telemetry.events:
+        name = "repro_telemetry_events_total"
+        out.append(f"# TYPE {name} counter")
+        by_category: dict[str, int] = {}
+        for event in telemetry.events:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        for category in sorted(by_category):
+            out.append(
+                f'{name}{{category="{_prom_escape(category)}"}} '
+                f"{_prom_float(by_category[category])}"
+            )
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_metrics_prometheus(path: str, telemetry: Telemetry) -> int:
+    """Write :func:`render_metrics_prometheus` to ``path``.
+
+    Returns:
+        The number of lines written (comments included).
+    """
+    text = render_metrics_prometheus(telemetry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n")

@@ -121,3 +121,50 @@ def test_sqlite_sink_flush_bounds_durability(tmp_path):
     assert other.execute("SELECT COUNT(*) FROM records").fetchone()[0] == 1
     other.close()
     sink.close()
+
+
+def test_sqlite_sink_cross_thread_reader_sees_committed_rows(tmp_path):
+    """A reader on another thread (the serve HTTP plane) gets its own
+    connection and observes only committed records — no thread-affinity
+    errors, no partial batches."""
+    import threading
+
+    sink = SqliteSink(str(tmp_path / "stream.db"))
+    stop = threading.Event()
+    seen = []
+    errors = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                rows = sink.records()
+            except Exception as error:  # pragma: no cover - the failure
+                errors.append(error)
+                return
+            assert [r["t"] for r in rows] == sorted(r["t"] for r in rows)
+            seen.append(len(rows))
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    for i in range(50):
+        sink.write(_record(i))
+        if i % 5 == 4:
+            sink.flush()
+    sink.flush()
+    stop.set()
+    thread.join(timeout=10)
+    assert not errors, errors[0]
+    # Counts only grow, and the final flush is visible to a fresh read.
+    assert seen == sorted(seen)
+    assert len(sink.records()) == 50
+    sink.close()
+
+
+def test_sqlite_sink_records_after_close_reads_from_disk(tmp_path):
+    path = str(tmp_path / "stream.db")
+    sink = SqliteSink(path)
+    for i in range(3):
+        sink.write(_record(i))
+    sink.close()
+    # The sink object still serves reads via a fresh connection.
+    assert [r["t"] for r in sink.records()] == [0.0, 1.0, 2.0]
